@@ -1,0 +1,270 @@
+package mobilegossip_test
+
+// Benchmarks, one family per row of the paper's Figure 1 plus the
+// substrates (Transfer(ε), BitConvergence leader election, PPUSH, the
+// engine itself). Each benchmark iteration is one complete gossip
+// execution at a fixed size; cmd/benchtable runs the parameter sweeps
+// that regenerate the paper's tables, while these benches track the
+// absolute cost of the canonical configurations.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+
+import (
+	"fmt"
+	"testing"
+
+	"mobilegossip"
+	"mobilegossip/internal/core"
+	"mobilegossip/internal/dyngraph"
+	"mobilegossip/internal/eqtest"
+	"mobilegossip/internal/graph"
+	"mobilegossip/internal/leader"
+	"mobilegossip/internal/mtm"
+	"mobilegossip/internal/prand"
+	"mobilegossip/internal/rumor"
+	"mobilegossip/internal/tokenset"
+)
+
+// benchRun executes one full simulation and fails the benchmark on error
+// or non-completion.
+func benchRun(b *testing.B, cfg mobilegossip.Config) {
+	b.Helper()
+	b.ReportAllocs()
+	var rounds int64
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i) + 1
+		res, err := mobilegossip.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Solved {
+			b.Fatalf("run %d not solved in %d rounds", i, res.Rounds)
+		}
+		rounds += int64(res.Rounds)
+	}
+	b.ReportMetric(float64(rounds)/float64(b.N), "rounds/op")
+}
+
+// BenchmarkFig1Row1BlindMatch — b = 0, τ ≥ 1 (§4, Thm 4.1).
+func BenchmarkFig1Row1BlindMatch(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		cfg  mobilegossip.Config
+	}{
+		{"ring_n64_k4_tau1", mobilegossip.Config{
+			Algorithm: mobilegossip.AlgBlindMatch, N: 64, K: 4,
+			Topology: mobilegossip.Topology{Kind: mobilegossip.Cycle}, Tau: 1,
+		}},
+		{"doublestar_n32_k1", mobilegossip.Config{
+			Algorithm: mobilegossip.AlgBlindMatch, N: 32, K: 1,
+			Topology: mobilegossip.Topology{Kind: mobilegossip.DoubleStar},
+		}},
+	} {
+		b.Run(tc.name, func(b *testing.B) { benchRun(b, tc.cfg) })
+	}
+}
+
+// BenchmarkFig1Row2SharedBit — b = 1, τ ≥ 1, shared randomness (§5.1,
+// Thm 5.1).
+func BenchmarkFig1Row2SharedBit(b *testing.B) {
+	for _, size := range []struct{ n, k int }{{64, 8}, {128, 16}, {256, 32}} {
+		name := fmt.Sprintf("regular_n%d_k%d_tau1", size.n, size.k)
+		b.Run(name, func(b *testing.B) {
+			benchRun(b, mobilegossip.Config{
+				Algorithm: mobilegossip.AlgSharedBit, N: size.n, K: size.k,
+				Topology: mobilegossip.Topology{Kind: mobilegossip.RandomRegular, Degree: 4},
+				Tau:      1,
+			})
+		})
+	}
+}
+
+// BenchmarkFig1Row3SimSharedBit — b = 1, τ ≥ 1, no shared randomness
+// (§5.2, Thm 5.6).
+func BenchmarkFig1Row3SimSharedBit(b *testing.B) {
+	for _, tau := range []int{1, 4} {
+		b.Run(fmt.Sprintf("regular_n64_k8_tau%d", tau), func(b *testing.B) {
+			benchRun(b, mobilegossip.Config{
+				Algorithm: mobilegossip.AlgSimSharedBit, N: 64, K: 8,
+				Topology: mobilegossip.Topology{Kind: mobilegossip.RandomRegular, Degree: 4},
+				Tau:      tau,
+			})
+		})
+	}
+}
+
+// BenchmarkFig1Row4CrowdedBin — b = 1, τ = ∞ (§6, Thm 6.10).
+//
+// Beta is raised above the speed-oriented default: with β = 2 the tag
+// space at N = 64 is only N² = 4096, so a k = 16 run draws colliding
+// token tags (a "not good" configuration per Lemma 6.5, which stalls the
+// run) with probability ≈ 3% — too often for a benchmark that executes
+// dozens of fresh seeds. β = 4 makes collisions negligible at the cost of
+// proportionally more schedule rounds.
+func BenchmarkFig1Row4CrowdedBin(b *testing.B) {
+	for _, k := range []int{4, 16} {
+		b.Run(fmt.Sprintf("regular_n64_k%d_static", k), func(b *testing.B) {
+			benchRun(b, mobilegossip.Config{
+				Algorithm: mobilegossip.AlgCrowdedBin, N: 64, K: k,
+				Topology:   mobilegossip.Topology{Kind: mobilegossip.RandomRegular, Degree: 4},
+				CrowdedBin: core.CrowdedBinConfig{Beta: 4},
+			})
+		})
+	}
+}
+
+// BenchmarkFig1Row5EpsilonGossip — ε-gossip via SharedBit (§7, Thm 7.4).
+func BenchmarkFig1Row5EpsilonGossip(b *testing.B) {
+	for _, eps := range []float64{0.5, 0.75} {
+		b.Run(fmt.Sprintf("regular_n64_eps%.2f", eps), func(b *testing.B) {
+			benchRun(b, mobilegossip.Config{
+				Algorithm: mobilegossip.AlgSharedBit, N: 64, K: 64,
+				Topology: mobilegossip.Topology{Kind: mobilegossip.RandomRegular, Degree: 4},
+				Tau:      1, Epsilon: eps,
+			})
+		})
+	}
+}
+
+// BenchmarkTransfer — the §3 token-transfer subroutine on adversarial
+// set pairs (identical except the last position).
+func BenchmarkTransfer(b *testing.B) {
+	for _, n := range []int{256, 4096} {
+		b.Run(fmt.Sprintf("universe_%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			pristine := tokenset.NewSet(n)
+			tb := tokenset.NewSet(n)
+			for t := 1; t <= n/2; t++ {
+				pristine.Add(t)
+				tb.Add(t)
+			}
+			tb.Add(n) // the single difference, at the far end of the search
+			eps := 1.0 / float64(n*n)
+			for i := 0; i < b.N; i++ {
+				// Nodes never unlearn tokens, so restore the receiving set
+				// from a pristine copy (a 64-word bitset clone; negligible
+				// next to the Transfer itself).
+				ta := pristine.Clone()
+				c := mtm.NewConn(i+1, 0, 1,
+					prand.New(uint64(2*i+1)), prand.New(uint64(2*i+2)),
+					1<<30, 1<<30)
+				out := eqtest.Transfer(c, ta, tb, eps)
+				if !out.Moved || out.Token != n {
+					b.Fatalf("transfer should move token %d, got %+v", n, out)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLeaderElection — the BitConvergence substrate (§5.2, [22]).
+func BenchmarkLeaderElection(b *testing.B) {
+	for _, n := range []int{64, 256} {
+		b.Run(fmt.Sprintf("regular_n%d_tau1", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				seed := uint64(i) + 1
+				dyn := dyngraph.RotatingRegular(n, 4, 1, seed)
+				ids := make([]int, n)
+				payloads := make([]uint64, n)
+				for u := 0; u < n; u++ {
+					ids[u] = u + 1
+					payloads[u] = uint64(u)
+				}
+				p := leader.New(ids, payloads)
+				res, err := mtm.NewEngine(dyn, p, mtm.Config{Seed: seed}).Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Completed {
+					b.Fatal("leader election did not converge")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPPUSH — the rumor-spreading substrate (§6, Thm 6.1, [11]).
+func BenchmarkPPUSH(b *testing.B) {
+	for _, n := range []int{64, 256} {
+		b.Run(fmt.Sprintf("regular_n%d_static", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				seed := uint64(i) + 1
+				g := graph.RandomRegular(n, 4, prand.New(prand.Mix64(seed)))
+				p := rumor.New(n, []int{0})
+				res, err := mtm.NewEngine(dyngraph.NewStatic(g), p, mtm.Config{Seed: seed}).Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Completed {
+					b.Fatal("rumor did not spread")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineRound measures the per-round overhead of the engine
+// itself (sequential vs concurrent backend) under a protocol that gossips
+// steadily without terminating early.
+func BenchmarkEngineRound(b *testing.B) {
+	for _, conc := range []bool{false, true} {
+		name := "sequential"
+		if conc {
+			name = "concurrent"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			const n, k = 256, 32
+			st, err := core.NewState(n, core.OneTokenPerNode(n, k), 1e-9)
+			if err != nil {
+				b.Fatal(err)
+			}
+			proto := core.NewSharedBit(st, prand.NewSharedString(99))
+			g := graph.RandomRegular(n, 4, prand.New(7))
+			eng := mtm.NewEngine(dyngraph.NewStatic(g), proto, mtm.Config{
+				Seed: 3, MaxRounds: b.N, Concurrent: conc,
+			})
+			b.ResetTimer()
+			if _, err := eng.Run(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkGraph measures generator + property-computation cost for the
+// topology substrate.
+func BenchmarkGraph(b *testing.B) {
+	b.Run("random_regular_n1024", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g := graph.RandomRegular(1024, 4, prand.New(uint64(i)+1))
+			if g.N() != 1024 {
+				b.Fatal("bad graph")
+			}
+		}
+	})
+	b.Run("expansion_exact_n20", func(b *testing.B) {
+		b.ReportAllocs()
+		g := graph.RandomRegular(20, 4, prand.New(5))
+		for i := 0; i < b.N; i++ {
+			if _, ok := g.ExactVertexExpansion(); !ok {
+				b.Fatal("exact expansion should be available at n=20")
+			}
+		}
+	})
+	b.Run("expansion_estimate_n512", func(b *testing.B) {
+		b.ReportAllocs()
+		g := graph.RandomRegular(512, 4, prand.New(5))
+		rng := prand.New(11)
+		for i := 0; i < b.N; i++ {
+			if a := g.EstimateVertexExpansion(200, rng); a <= 0 {
+				b.Fatal("estimate should be positive on a connected graph")
+			}
+		}
+	})
+}

@@ -1,0 +1,69 @@
+// Command traceview summarizes a JSONL execution trace produced by
+// gossipsim -tracefile (or any mobilegossip.Config.TraceWriter sink):
+// per-round proposals, accepted connections, metered control bits and
+// token transfers, plus run totals and the proposal-acceptance rate.
+//
+// Usage:
+//
+//	gossipsim -alg sharedbit -n 64 -k 8 -tracefile run.jsonl
+//	traceview run.jsonl
+//	traceview -every 10 run.jsonl    # print every 10th round only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"mobilegossip/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "traceview:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("traceview", flag.ContinueOnError)
+	every := fs.Int("every", 1, "print every Nth round (totals always cover the whole trace)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: traceview [-every N] <trace.jsonl>")
+	}
+	if *every < 1 {
+		*every = 1
+	}
+
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	s, err := trace.ReadSummary(f)
+	if err != nil {
+		return err
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "round\tproposals\tconnections\tbits\ttokens")
+	for i, rs := range s.Rounds {
+		if i%*every != 0 && i != len(s.Rounds)-1 {
+			continue
+		}
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%d\n",
+			rs.Round, rs.Proposals, rs.Connections, rs.Bits, rs.Tokens)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	fmt.Printf("\ntotals: %d proposals, %d connections (%.1f%% accepted), %d control bits, %d tokens moved\n",
+		s.Proposals, s.Connections, 100*s.AcceptanceRate(), s.Bits, s.Tokens)
+	return nil
+}

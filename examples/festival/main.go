@@ -1,0 +1,87 @@
+// Festival: FireChat-style group chat in a churning crowd.
+//
+// The paper's introduction motivates smartphone peer-to-peer meshes with
+// scenarios like Burning Man — tens of thousands of people, no cell
+// towers, and a crowd that physically reshuffles continuously. This
+// example models one "chat wave": k attendees each post a message at the
+// same time, and the mesh must deliver every message to everyone while
+// the proximity graph is redrawn every round (τ = 1, the paper's harshest
+// dynamic setting).
+//
+// It compares the three algorithms that work under full churn:
+//
+//   - BlindMatch (b = 0): phones cannot advertise anything; connections
+//     are blind. Theorem 4.1: O((1/α)·k·Δ²·log²n).
+//   - SharedBit (b = 1, shared randomness): each phone advertises a 1-bit
+//     hash of the messages it holds, so phones only dial neighbors that
+//     provably hold a different set. Theorem 5.1: O(kn).
+//   - SimSharedBit (b = 1, no shared randomness): same, but the phones
+//     first elect a leader that disseminates a PRG seed. Theorem 5.6:
+//     O(kn + (1/α)·Δ^{1/τ}·log⁶n).
+//
+// Run with:
+//
+//	go run ./examples/festival
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"mobilegossip"
+)
+
+func main() {
+	const (
+		crowd    = 96 // phones in radio range of the mesh
+		messages = 12 // simultaneous chat posts
+		seed     = 7
+	)
+
+	// The crowd reshuffles every round: a fresh random 4-regular proximity
+	// graph per round is the oblivious adversary the τ = 1 model allows.
+	churn := mobilegossip.Topology{Kind: mobilegossip.RandomRegular, Degree: 4}
+
+	algs := []mobilegossip.Algorithm{
+		mobilegossip.AlgBlindMatch,
+		mobilegossip.AlgSharedBit,
+		mobilegossip.AlgSimSharedBit,
+	}
+
+	fmt.Printf("festival chat wave: %d posts across %d phones, proximity graph redrawn every round\n\n",
+		messages, crowd)
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "algorithm\ttag bits\trounds\tconnections\ttokens moved")
+	for _, alg := range algs {
+		res, err := mobilegossip.Run(mobilegossip.Config{
+			Algorithm: alg,
+			N:         crowd,
+			K:         messages,
+			Topology:  churn,
+			Tau:       1,
+			Seed:      seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !res.Solved {
+			log.Fatalf("%v did not finish within the round budget", alg)
+		}
+		bits := 1
+		if alg == mobilegossip.AlgBlindMatch {
+			bits = 0
+		}
+		fmt.Fprintf(tw, "%v\t%d\t%d\t%d\t%d\n",
+			alg, bits, res.Rounds, res.Connections, res.TokensMoved)
+	}
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nThe single advertising bit is what lets SharedBit phones skip")
+	fmt.Println("pointless connections: with b = 0 every dial is blind, and the")
+	fmt.Println("paper proves a Ω(Δ²/√α) floor for that strategy (§1, [22]).")
+}

@@ -1,0 +1,89 @@
+// Protest: gossip where the infrastructure is censored and the crowd
+// geometry is hostile.
+//
+// The paper's introduction motivates smartphone peer-to-peer meshes with
+// government protests, where cellular infrastructure may be blocked.
+// Protests also produce the geometry the paper's lower bound discussion
+// (§1) warns about: dense clusters around focal points — approximated
+// here by the double-star graph, whose Δ ≈ n/2 hubs make blind connection
+// attempts collide catastrophically (the Ω(Δ²/√α) floor).
+//
+// The example:
+//  1. inspects the topology (Δ, D, α — the parameters in every bound);
+//  2. runs BlindMatch (b = 0) and SharedBit (b = 1) with a JSONL trace;
+//  3. summarizes each trace to show *why* b = 1 wins: the proposal
+//     acceptance rate collapses for blind proposals aimed at hubs, while
+//     tag-steered proposals stay productive.
+//
+// Run with:
+//
+//	go run ./examples/protest
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"mobilegossip"
+	"mobilegossip/internal/trace"
+)
+
+func main() {
+	const (
+		crowd = 64
+		posts = 4
+		seed  = 13
+	)
+
+	topo := mobilegossip.Topology{Kind: mobilegossip.DoubleStar}
+
+	info, err := topo.Inspect(crowd, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("protest mesh: %s\n", info.Name)
+	fmt.Printf("  n=%d  Δ=%d  D=%d  α=%.4f  (log₂n)/α=%.1f\n\n",
+		info.N, info.MaxDegree, info.Diameter, info.Alpha, info.LogNOverAlpha)
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "algorithm\trounds\tproposals\tconnections\taccepted")
+
+	for _, alg := range []mobilegossip.Algorithm{
+		mobilegossip.AlgBlindMatch,
+		mobilegossip.AlgSharedBit,
+	} {
+		var buf bytes.Buffer
+		res, err := mobilegossip.Run(mobilegossip.Config{
+			Algorithm:   alg,
+			N:           crowd,
+			K:           posts,
+			Topology:    topo,
+			Seed:        seed,
+			TraceWriter: &buf,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !res.Solved {
+			log.Fatalf("%v did not finish", alg)
+		}
+		sum, err := trace.ReadSummary(&buf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(tw, "%v\t%d\t%d\t%d\t%.1f%%\n",
+			alg, res.Rounds, sum.Proposals, sum.Connections, 100*sum.AcceptanceRate())
+	}
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nOn hub-dominated graphs a blind proposal usually targets a hub that")
+	fmt.Println("is already swamped — most proposals are wasted, which is the Ω(Δ²/√α)")
+	fmt.Println("mechanism of §1. SharedBit's advertisement bit steers proposals toward")
+	fmt.Println("nodes that provably hold a different message set, so the ones it sends")
+	fmt.Println("are worth sending.")
+}

@@ -1,0 +1,41 @@
+// Quickstart: the smallest useful mobilegossip program.
+//
+// It runs the SharedBit gossip algorithm (the paper's b = 1, τ ≥ 1
+// workhorse) on a random 4-regular network of 128 phones where 16 of them
+// each start with one message, and reports how many rounds it took for
+// every phone to learn every message.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mobilegossip"
+)
+
+func main() {
+	res, err := mobilegossip.Run(mobilegossip.Config{
+		Algorithm: mobilegossip.AlgSharedBit,
+		N:         128,
+		K:         16,
+		Topology:  mobilegossip.Topology{Kind: mobilegossip.RandomRegular, Degree: 4},
+		Seed:      1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("gossip of %d tokens across %d phones on %s\n", 16, 128, res.Topology)
+	fmt.Printf("  solved:       %v\n", res.Solved)
+	fmt.Printf("  rounds:       %d\n", res.Rounds)
+	fmt.Printf("  connections:  %d\n", res.Connections)
+	fmt.Printf("  tokens moved: %d\n", res.TokensMoved)
+
+	// The paper's Theorem 5.1 bound is O(kn) = O(16·128) rounds; a typical
+	// run on a well-connected graph finishes far below the worst case.
+	fmt.Printf("  Thm 5.1 worst-case budget O(kn) = %d rounds\n", 16*128)
+}

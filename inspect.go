@@ -1,0 +1,100 @@
+package mobilegossip
+
+import (
+	"math"
+
+	"mobilegossip/internal/dyngraph"
+	"mobilegossip/internal/graph"
+	"mobilegossip/internal/prand"
+)
+
+// TopologyInfo reports the structural parameters the paper's bounds are
+// expressed in, for one instantiated topology.
+type TopologyInfo struct {
+	// Name is the generated graph's display name.
+	Name string
+	// N and Edges are the vertex and edge counts.
+	N, Edges int
+	// MaxDegree is Δ.
+	MaxDegree int
+	// Diameter is D.
+	Diameter int
+	// Alpha is the vertex expansion α: exact when AlphaExact, otherwise a
+	// randomized local-search estimate (an upper bound on the true α).
+	Alpha      float64
+	AlphaExact bool
+	// LogNOverAlpha is log₂(n)/α, the paper's diameter bound (Thm 6.2)
+	// and the scale of most of its 1/α round-complexity terms.
+	LogNOverAlpha float64
+}
+
+// Inspect instantiates the topology on n vertices and measures the
+// parameters the paper's complexity bounds depend on: Δ, D and α. For
+// n ≤ 22 the vertex expansion is computed exactly by subset enumeration;
+// larger graphs get a randomized estimate (samples ≈ 2000) that upper
+// bounds the true value.
+func (t Topology) Inspect(n int, seed uint64) (TopologyInfo, error) {
+	var info TopologyInfo
+	dyn, err := t.Build(n, 0, seed)
+	if err != nil {
+		return info, err
+	}
+	g := dyn.At(1)
+	return inspectGraph(g, seed)
+}
+
+// inspectGraph measures one static graph.
+func inspectGraph(g *graph.Graph, seed uint64) (TopologyInfo, error) {
+	diam, err := g.Diameter()
+	if err != nil {
+		return TopologyInfo{}, err
+	}
+	alpha, exact := g.ExactVertexExpansion()
+	if !exact {
+		alpha = g.EstimateVertexExpansion(2000, prand.New(prand.Mix64(seed^0xc2b2ae3d27d4eb4f)))
+	}
+	info := TopologyInfo{
+		Name:       g.Name(),
+		N:          g.N(),
+		Edges:      g.NumEdges(),
+		MaxDegree:  g.MaxDegree(),
+		Diameter:   diam,
+		Alpha:      alpha,
+		AlphaExact: exact,
+	}
+	if alpha > 0 {
+		info.LogNOverAlpha = math.Log2(float64(g.N())) / alpha
+	}
+	return info, nil
+}
+
+// InspectDynamic measures a τ-stable schedule built from the topology:
+// α and Δ are taken as the worst (minimum α, maximum Δ) over the first
+// `epochs` epochs, matching the paper's definition of dynamic-graph
+// parameters (§2). Diameter is reported for the first epoch only (the
+// paper does not define a dynamic diameter).
+func (t Topology) InspectDynamic(n, tau, epochs int, seed uint64) (TopologyInfo, error) {
+	var info TopologyInfo
+	if tau <= 0 {
+		return t.Inspect(n, seed)
+	}
+	if epochs < 1 {
+		epochs = 1
+	}
+	dyn, err := t.Build(n, tau, seed)
+	if err != nil {
+		return info, err
+	}
+	info, err = inspectGraph(dyn.At(1), seed)
+	if err != nil {
+		return info, err
+	}
+	rng := prand.New(prand.Mix64(seed ^ 0x165667b19e3779f9))
+	info.Alpha = dyngraph.Alpha(dyn, epochs, 2000, rng)
+	info.AlphaExact = false
+	info.MaxDegree = dyngraph.MaxDegree(dyn, epochs)
+	if info.Alpha > 0 {
+		info.LogNOverAlpha = math.Log2(float64(n)) / info.Alpha
+	}
+	return info, nil
+}

@@ -1,0 +1,105 @@
+package mobilegossip
+
+import (
+	"math"
+	"testing"
+)
+
+func TestInspectKnownFamilies(t *testing.T) {
+	cases := []struct {
+		topo      Topology
+		n         int
+		wantDelta int
+		wantDiam  int
+		wantAlpha float64 // exact values for n ≤ 22 families
+	}{
+		{Topology{Kind: Cycle}, 16, 2, 8, 4.0 / 16},
+		{Topology{Kind: Complete}, 10, 9, 1, 1},
+		// Star α: the minimizing S is ⌊n/2⌋ leaves, whose boundary is just
+		// the hub — α = 1/6 at n = 12.
+		{Topology{Kind: Star}, 12, 11, 2, 1.0 / 6},
+		{Topology{Kind: DoubleStar}, 16, 8, 3, 1.0 / 8},
+	}
+	for _, tc := range cases {
+		info, err := tc.topo.Inspect(tc.n, 1)
+		if err != nil {
+			t.Fatalf("%v: %v", tc.topo.Kind, err)
+		}
+		if info.N != tc.n {
+			t.Errorf("%v: N = %d, want %d", tc.topo.Kind, info.N, tc.n)
+		}
+		if info.MaxDegree != tc.wantDelta {
+			t.Errorf("%v: Δ = %d, want %d", tc.topo.Kind, info.MaxDegree, tc.wantDelta)
+		}
+		if info.Diameter != tc.wantDiam {
+			t.Errorf("%v: D = %d, want %d", tc.topo.Kind, info.Diameter, tc.wantDiam)
+		}
+		if !info.AlphaExact {
+			t.Errorf("%v: expected exact α at n = %d", tc.topo.Kind, tc.n)
+		}
+		if math.Abs(info.Alpha-tc.wantAlpha) > 1e-9 {
+			t.Errorf("%v: α = %v, want %v", tc.topo.Kind, info.Alpha, tc.wantAlpha)
+		}
+		if info.LogNOverAlpha <= 0 {
+			t.Errorf("%v: LogNOverAlpha = %v, want > 0", tc.topo.Kind, info.LogNOverAlpha)
+		}
+	}
+}
+
+func TestInspectLargeUsesEstimate(t *testing.T) {
+	info, err := Topology{Kind: RandomRegular, Degree: 4}.Inspect(64, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.AlphaExact {
+		t.Error("n = 64 should use the α estimate")
+	}
+	if info.Alpha <= 0 || info.Alpha > 2 {
+		t.Errorf("α estimate %v out of range", info.Alpha)
+	}
+	if info.MaxDegree != 4 {
+		t.Errorf("Δ = %d, want 4 on a 4-regular graph", info.MaxDegree)
+	}
+}
+
+func TestInspectPropagatesBuildErrors(t *testing.T) {
+	if _, err := (Topology{Kind: Hypercube}).Inspect(10, 1); err == nil {
+		t.Error("hypercube with non-power-of-two n should fail")
+	}
+	if _, err := (Topology{Kind: TopologyKind(99)}).Inspect(8, 1); err == nil {
+		t.Error("unknown kind should fail")
+	}
+}
+
+func TestInspectDynamicWorstCaseOverEpochs(t *testing.T) {
+	// The dynamic α is the minimum over epochs, so it can only be ≤ the
+	// first epoch's α; Δ is the maximum, so ≥ the first epoch's Δ.
+	stat, err := Topology{Kind: RandomRegular, Degree: 4}.Inspect(32, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn, err := Topology{Kind: RandomRegular, Degree: 4}.InspectDynamic(32, 1, 8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dyn.MaxDegree < stat.MaxDegree {
+		t.Errorf("dynamic Δ %d < static Δ %d", dyn.MaxDegree, stat.MaxDegree)
+	}
+	if dyn.Alpha <= 0 {
+		t.Errorf("dynamic α = %v, want > 0 (schedules stay connected)", dyn.Alpha)
+	}
+}
+
+func TestInspectDynamicTauZeroDelegatesToStatic(t *testing.T) {
+	a, err := Topology{Kind: Cycle}.Inspect(16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Topology{Kind: Cycle}.InspectDynamic(16, 0, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("InspectDynamic(tau=0) = %+v, want %+v", b, a)
+	}
+}

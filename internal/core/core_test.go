@@ -1,0 +1,349 @@
+package core
+
+import (
+	"testing"
+
+	"mobilegossip/internal/dyngraph"
+	"mobilegossip/internal/graph"
+	"mobilegossip/internal/mtm"
+	"mobilegossip/internal/prand"
+)
+
+func TestAssignmentValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		a    Assignment
+		n    int
+		ok   bool
+	}{
+		{"ok", OneTokenPerNode(8, 4), 8, true},
+		{"lenmismatch", Assignment{Universe: 8, Tokens: []int{1}, Owners: nil}, 8, false},
+		{"smalluniverse", Assignment{Universe: 4, Tokens: []int{1}, Owners: []int{0}}, 8, false},
+		{"tokenrange", Assignment{Universe: 8, Tokens: []int{9}, Owners: []int{0}}, 8, false},
+		{"tokenzero", Assignment{Universe: 8, Tokens: []int{0}, Owners: []int{0}}, 8, false},
+		{"dup", Assignment{Universe: 8, Tokens: []int{3, 3}, Owners: []int{0, 1}}, 8, false},
+		{"ownerrange", Assignment{Universe: 8, Tokens: []int{1}, Owners: []int{8}}, 8, false},
+		{"multipertoken-ok", Assignment{Universe: 8, Tokens: []int{1, 2}, Owners: []int{0, 0}}, 8, true},
+	}
+	for _, c := range cases {
+		err := c.a.Validate(c.n)
+		if (err == nil) != c.ok {
+			t.Errorf("%s: err=%v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestOneTokenPerNode(t *testing.T) {
+	a := OneTokenPerNode(10, 4)
+	if len(a.Tokens) != 4 || a.Universe != 10 {
+		t.Fatalf("a = %+v", a)
+	}
+	a = OneTokenPerNode(5, 9) // k clamped to n
+	if len(a.Tokens) != 5 {
+		t.Fatalf("k not clamped: %d", len(a.Tokens))
+	}
+}
+
+func TestNewStatePotential(t *testing.T) {
+	st, err := NewState(6, OneTokenPerNode(6, 3), 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// φ(1) = Σ (k − |T_u|) = 3 nodes missing 2 + 3 nodes missing 3 = 15.
+	if got := st.Potential(); got != 15 {
+		t.Fatalf("φ = %d, want 15", got)
+	}
+	if st.AllDone() {
+		t.Fatal("fresh state done")
+	}
+	if st.N() != 6 || st.K() != 3 || st.Universe() != 6 {
+		t.Fatal("accessors wrong")
+	}
+}
+
+func TestNewStateRejectsBadAssignment(t *testing.T) {
+	if _, err := NewState(4, Assignment{Universe: 4, Tokens: []int{5}, Owners: []int{0}}, 0.01); err == nil {
+		t.Fatal("bad assignment accepted")
+	}
+}
+
+// runGossip drives a protocol to completion and returns the result.
+func runGossip(t *testing.T, dyn dyngraph.Dynamic, p mtm.Protocol, seed uint64, maxRounds int) mtm.Result {
+	t.Helper()
+	res, err := mtm.NewEngine(dyn, p, mtm.Config{Seed: seed, MaxRounds: maxRounds}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+type stateful interface{ State() *State }
+
+// checkSolved asserts full gossip completion.
+func checkSolved(t *testing.T, p stateful, res mtm.Result) {
+	t.Helper()
+	if !res.Completed {
+		t.Fatalf("gossip incomplete after %d rounds (φ=%d)", res.Rounds, p.State().Potential())
+	}
+	if phi := p.State().Potential(); phi != 0 {
+		t.Fatalf("completed but φ=%d", phi)
+	}
+}
+
+func TestBlindMatchSolvesGossipStatic(t *testing.T) {
+	for _, g := range []*graph.Graph{graph.Cycle(16), graph.Complete(16), graph.Star(16)} {
+		st, err := NewState(16, OneTokenPerNode(16, 4), 1e-4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := NewBlindMatch(st)
+		res := runGossip(t, dyngraph.NewStatic(g), p, 1, 1<<20)
+		checkSolved(t, p, res)
+	}
+}
+
+func TestBlindMatchSolvesGossipDynamic(t *testing.T) {
+	st, err := NewState(16, OneTokenPerNode(16, 3), 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewBlindMatch(st)
+	res := runGossip(t, dyngraph.RotatingRing(16, 1, 5), p, 2, 1<<20)
+	checkSolved(t, p, res)
+}
+
+func TestSharedBitSolvesGossipStatic(t *testing.T) {
+	for _, g := range []*graph.Graph{graph.Cycle(16), graph.Complete(16), graph.DoubleStar(16)} {
+		st, err := NewState(16, OneTokenPerNode(16, 4), 1e-4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := NewSharedBit(st, prand.NewSharedString(99))
+		res := runGossip(t, dyngraph.NewStatic(g), p, 3, 1<<20)
+		checkSolved(t, p, res)
+	}
+}
+
+func TestSharedBitSolvesGossipDynamic(t *testing.T) {
+	st, err := NewState(20, OneTokenPerNode(20, 5), 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewSharedBit(st, prand.NewSharedString(7))
+	res := runGossip(t, dyngraph.RandomMatchingChurn(20, 1, 0.2, 9), p, 4, 1<<20)
+	checkSolved(t, p, res)
+}
+
+func TestSharedBitAdvertisementLemma52(t *testing.T) {
+	// Lemma 5.2: equal sets ⇒ equal bits (always); different sets ⇒
+	// different bits with probability exactly 1/2 over the shared bits.
+	shared := prand.NewSharedString(1)
+	stA, _ := NewState(4, Assignment{Universe: 16, Tokens: []int{3, 7}, Owners: []int{0, 1}}, 0.01)
+	// Node 0 owns {3}, node 1 owns {7}, nodes 2,3 own {}.
+	diff := 0
+	const rounds = 20000
+	for r := 1; r <= rounds; r++ {
+		b0 := advertiseBit(shared, stA.sets[0], r)
+		b1 := advertiseBit(shared, stA.sets[1], r)
+		b2 := advertiseBit(shared, stA.sets[2], r)
+		b3 := advertiseBit(shared, stA.sets[3], r)
+		if b2 != 0 || b3 != 0 {
+			t.Fatal("empty sets must advertise 0")
+		}
+		if b0 != b1 {
+			diff++
+		}
+	}
+	if diff < rounds/2-600 || diff > rounds/2+600 {
+		t.Fatalf("P(b_u≠b_v) = %f, want ≈ 1/2", float64(diff)/rounds)
+	}
+}
+
+func TestSharedBitPotentialNonIncreasing(t *testing.T) {
+	st, err := NewState(12, OneTokenPerNode(12, 4), 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewSharedBit(st, prand.NewSharedString(2))
+	last := st.Potential()
+	cfg := mtm.Config{Seed: 5, MaxRounds: 1 << 20, OnRound: func(r int) {
+		cur := st.Potential()
+		if cur > last {
+			t.Fatalf("round %d: φ increased %d -> %d", r, last, cur)
+		}
+		last = cur
+	}}
+	if _, err := mtm.NewEngine(dyngraph.NewStatic(graph.Cycle(12)), p, cfg).Run(); err != nil {
+		t.Fatal(err)
+	}
+	if last != 0 {
+		t.Fatalf("final φ = %d", last)
+	}
+}
+
+func TestSimSharedBitSolvesGossip(t *testing.T) {
+	for _, tau := range []int{1, 4} {
+		st, err := NewState(16, OneTokenPerNode(16, 4), 1e-4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		space := prand.NewSeedSpace(16)
+		seeds := SampleSeeds(space, 16, prand.New(33))
+		p := NewSimSharedBit(st, space, seeds)
+		res := runGossip(t, dyngraph.RotatingRegular(16, 3, tau, 11), p, 6, 1<<21)
+		checkSolved(t, p, res)
+		if !p.Leader().Converged() {
+			t.Error("gossip finished but leader never converged (possible, but suspicious on an expander)")
+		}
+	}
+}
+
+func TestSimSharedBitLeaderElectsMin(t *testing.T) {
+	st, err := NewState(12, OneTokenPerNode(12, 2), 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := prand.NewSeedSpace(12)
+	seeds := SampleSeeds(space, 12, prand.New(8))
+	p := NewSimSharedBit(st, space, seeds)
+	res := runGossip(t, dyngraph.NewStatic(graph.Complete(12)), p, 7, 1<<20)
+	checkSolved(t, p, res)
+	if p.Leader().Converged() && !p.Leader().ElectedMin() {
+		t.Error("converged to a non-minimum leader")
+	}
+	if p.Leader().Converged() {
+		// All nodes must share the elected leader's seed payload.
+		want := p.Leader().Payload(0)
+		for u := 1; u < 12; u++ {
+			if p.Leader().Payload(u) != want {
+				t.Fatal("payloads diverge after convergence")
+			}
+		}
+	}
+}
+
+func TestCrowdedBinSolvesGossipSmall(t *testing.T) {
+	st, err := NewState(8, OneTokenPerNode(8, 2), 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewCrowdedBin(st, CrowdedBinConfig{}, prand.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runGossip(t, dyngraph.NewStatic(graph.Complete(8)), p, 8, 1<<22)
+	checkSolved(t, p, res)
+}
+
+func TestCrowdedBinSolvesGossipRing(t *testing.T) {
+	st, err := NewState(8, OneTokenPerNode(8, 4), 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewCrowdedBin(st, CrowdedBinConfig{}, prand.New(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runGossip(t, dyngraph.NewStatic(graph.Cycle(8)), p, 9, 1<<22)
+	checkSolved(t, p, res)
+}
+
+func TestCrowdedBinEstimatesNeverDecrease(t *testing.T) {
+	st, err := NewState(8, OneTokenPerNode(8, 8), 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewCrowdedBin(st, CrowdedBinConfig{}, prand.New(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := make([]int, 8)
+	for u := range prev {
+		prev[u] = p.Estimate(u)
+	}
+	cfg := mtm.Config{Seed: 10, MaxRounds: 1 << 22, OnRound: func(r int) {
+		for u := 0; u < 8; u++ {
+			if p.Estimate(u) < prev[u] {
+				t.Fatalf("round %d: node %d estimate decreased %d -> %d", r, u, prev[u], p.Estimate(u))
+			}
+			prev[u] = p.Estimate(u)
+		}
+	}}
+	res, err := mtm.NewEngine(dyngraph.NewStatic(graph.Complete(8)), p, cfg).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSolved(t, p, res)
+}
+
+func TestCrowdedBinRejectsMultiTokenStart(t *testing.T) {
+	st, err := NewState(4, Assignment{Universe: 4, Tokens: []int{1, 2}, Owners: []int{0, 0}}, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCrowdedBin(st, CrowdedBinConfig{}, prand.New(1)); err != ErrMultiTokenStart {
+		t.Fatalf("err = %v, want ErrMultiTokenStart", err)
+	}
+}
+
+func TestEpsilonGossipSolvesEarlierThanFull(t *testing.T) {
+	n := 24
+	mk := func() *SharedBit {
+		st, err := NewState(n, OneTokenPerNode(n, n), 1e-4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return NewSharedBit(st, prand.NewSharedString(5))
+	}
+	pFull := mk()
+	resFull := runGossip(t, dyngraph.NewStatic(graph.Complete(n)), pFull, 11, 1<<21)
+	checkSolved(t, pFull, resFull)
+
+	pEps := NewEpsilonGossip(mk(), 0.5, 1)
+	resEps := runGossip(t, dyngraph.NewStatic(graph.Complete(n)), pEps, 11, 1<<21)
+	if !resEps.Completed {
+		t.Fatalf("ε-gossip incomplete after %d rounds", resEps.Rounds)
+	}
+	if resEps.Rounds > resFull.Rounds {
+		t.Fatalf("ε-gossip (%d rounds) slower than full gossip (%d rounds)",
+			resEps.Rounds, resFull.Rounds)
+	}
+}
+
+func TestGossipDeterministicAcrossBackends(t *testing.T) {
+	run := func(concurrent bool) (mtm.Result, int) {
+		st, err := NewState(14, OneTokenPerNode(14, 3), 1e-4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := NewSharedBit(st, prand.NewSharedString(4))
+		res, err := mtm.NewEngine(dyngraph.RotatingRing(14, 2, 6), p,
+			mtm.Config{Seed: 13, MaxRounds: 1 << 20, Concurrent: concurrent}).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, st.Potential()
+	}
+	seqRes, seqPhi := run(false)
+	parRes, parPhi := run(true)
+	if seqRes != parRes || seqPhi != parPhi {
+		t.Fatalf("backends diverged: %+v/%d vs %+v/%d", seqRes, seqPhi, parRes, parPhi)
+	}
+}
+
+func TestGossipStaysWithinBudget(t *testing.T) {
+	// The model allows O(1) tokens + polylog bits per connection; every
+	// algorithm must respect the engine's default budget.
+	st1, _ := NewState(16, OneTokenPerNode(16, 8), 1e-4)
+	st2, _ := NewState(16, OneTokenPerNode(16, 8), 1e-4)
+	protos := []mtm.Protocol{
+		NewBlindMatch(st1),
+		NewSharedBit(st2, prand.NewSharedString(1)),
+	}
+	for i, p := range protos {
+		if _, err := mtm.NewEngine(dyngraph.NewStatic(graph.Complete(16)), p,
+			mtm.Config{Seed: uint64(i), MaxRounds: 1 << 20}).Run(); err != nil {
+			t.Errorf("protocol %d violated budget: %v", i, err)
+		}
+	}
+}

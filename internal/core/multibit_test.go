@@ -1,0 +1,178 @@
+package core
+
+import (
+	"testing"
+
+	"mobilegossip/internal/dyngraph"
+	"mobilegossip/internal/graph"
+	"mobilegossip/internal/mtm"
+	"mobilegossip/internal/prand"
+	"mobilegossip/internal/tokenset"
+)
+
+// mustState builds run state with a tight transfer error bound, failing
+// the test on invalid assignments.
+func mustState(t *testing.T, n int, a Assignment) *State {
+	t.Helper()
+	st, err := NewState(n, a, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestNewMultiBitValidatesWidth(t *testing.T) {
+	st := mustState(t, 4, OneTokenPerNode(4, 2))
+	shared := prand.NewSharedString(1)
+	for _, b := range []int{0, -1, 65} {
+		if _, err := NewMultiBit(st, shared, b); err == nil {
+			t.Errorf("NewMultiBit(b=%d) should fail", b)
+		}
+	}
+	for _, b := range []int{1, 2, 64} {
+		if _, err := NewMultiBit(st, shared, b); err != nil {
+			t.Errorf("NewMultiBit(b=%d): %v", b, err)
+		}
+	}
+}
+
+// TestMultiBitLemma52Analog: with b bits, equal sets always advertise equal
+// tags, and different sets advertise different tags with probability
+// 1 − 2^{−b}.
+func TestMultiBitLemma52Analog(t *testing.T) {
+	const universe = 64
+	const groups = 4000
+	shared := prand.NewSharedString(99)
+
+	a := tokenset.NewSet(universe)
+	b := tokenset.NewSet(universe)
+	for _, tok := range []int{3, 17, 40} {
+		a.Add(tok)
+		b.Add(tok)
+	}
+	b.Add(55) // one-element difference
+
+	for _, width := range []int{1, 2, 4, 8} {
+		equalDiffer, differDiffer := 0, 0
+		for g := 1; g <= groups; g++ {
+			ta := advertiseBits(shared, a, g, width)
+			tb := advertiseBits(shared, b, g, width)
+			taa := advertiseBits(shared, a, g, width)
+			if ta != taa {
+				equalDiffer++
+			}
+			if ta != tb {
+				differDiffer++
+			}
+		}
+		if equalDiffer != 0 {
+			t.Errorf("b=%d: equal sets disagreed %d times", width, equalDiffer)
+		}
+		want := 1 - 1/float64(int64(1)<<uint(width))
+		got := float64(differDiffer) / groups
+		if diff := got - want; diff < -0.05 || diff > 0.05 {
+			t.Errorf("b=%d: P(tags differ | sets differ) = %.3f, want ≈ %.3f", width, got, want)
+		}
+	}
+}
+
+// TestMultiBitWidth1MatchesSharedBit: for b = 1 the generalized rule is
+// exactly SharedBit — identical tags and identical actions in every
+// reachable configuration, hence identical executions.
+func TestMultiBitWidth1MatchesSharedBit(t *testing.T) {
+	const n, k = 24, 5
+	runOnce := func(multi bool) mtm.Result {
+		st := mustState(t, n, OneTokenPerNode(n, k))
+		shared := prand.NewSharedString(7)
+		var proto mtm.Protocol = NewSharedBit(st, shared)
+		if multi {
+			mb, err := NewMultiBit(st, shared, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			proto = mb
+		}
+		dyn := dyngraph.RotatingRegular(n, 4, 1, 11)
+		res, err := mtm.NewEngine(dyn, proto, mtm.Config{Seed: 13}).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	sb := runOnce(false)
+	mb := runOnce(true)
+	if sb != mb {
+		t.Errorf("b=1 multi-bit diverged from SharedBit:\n  sharedbit: %+v\n  multibit:  %+v", sb, mb)
+	}
+}
+
+func TestMultiBitSolvesGossip(t *testing.T) {
+	for _, width := range []int{2, 4, 8} {
+		st := mustState(t, 20, OneTokenPerNode(20, 6))
+		mb, err := NewMultiBit(st, prand.NewSharedString(3), width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dyn := dyngraph.RotatingRegular(20, 4, 1, 5)
+		res, err := mtm.NewEngine(dyn, mb, mtm.Config{Seed: 9}).Run()
+		if err != nil {
+			t.Fatalf("b=%d: %v", width, err)
+		}
+		if !res.Completed {
+			t.Errorf("b=%d: gossip unsolved after %d rounds", width, res.Rounds)
+		}
+		if got := st.Potential(); got != 0 {
+			t.Errorf("b=%d: final potential %d, want 0", width, got)
+		}
+	}
+}
+
+// TestMultiBitConnectionsAreProductive: every accepted connection joins two
+// nodes with different tags, hence different sets — the invariant the
+// proposal rule exists to guarantee.
+func TestMultiBitConnectionsAreProductive(t *testing.T) {
+	const n, k, width = 16, 8, 4
+	st := mustState(t, n, OneTokenPerNode(n, k))
+	shared := prand.NewSharedString(21)
+	mb, err := NewMultiBit(st, shared, width)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checker := &productivityChecker{t: t, inner: mb, st: st}
+	g := graph.RandomRegular(n, 4, prand.New(2))
+	res, err := mtm.NewEngine(dyngraph.NewStatic(g), checker, mtm.Config{Seed: 4}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("unsolved after %d rounds", res.Rounds)
+	}
+	if checker.connections == 0 {
+		t.Fatal("no connections observed")
+	}
+}
+
+// productivityChecker asserts the different-sets invariant before
+// delegating each exchange.
+type productivityChecker struct {
+	t           *testing.T
+	inner       mtm.Protocol
+	st          *State
+	connections int
+}
+
+func (p *productivityChecker) TagBits() int                   { return p.inner.TagBits() }
+func (p *productivityChecker) Tag(r int, u mtm.NodeID) uint64 { return p.inner.Tag(r, u) }
+func (p *productivityChecker) Done() bool                     { return p.inner.Done() }
+
+func (p *productivityChecker) Decide(r int, u mtm.NodeID, view []mtm.Neighbor, rng *prand.RNG) mtm.Action {
+	return p.inner.Decide(r, u, view, rng)
+}
+
+func (p *productivityChecker) Exchange(r int, c *mtm.Conn) {
+	p.connections++
+	if p.st.Set(c.Initiator).Equal(p.st.Set(c.Responder)) {
+		p.t.Errorf("round %d: connection %d-%d joined equal sets", r, c.Initiator, c.Responder)
+	}
+	p.inner.Exchange(r, c)
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"mobilegossip/internal/eqtest"
+	"mobilegossip/internal/leader"
+	"mobilegossip/internal/mtm"
+	"mobilegossip/internal/prand"
+)
+
+// SimSharedBit is the §5.2 algorithm for b = 1, τ ≥ 1 with no shared
+// randomness. At start every node privately samples a seed — an index into
+// the multiset R′ of Lemma 5.5 (our constructive stand-in: prand.SeedSpace).
+// The run then interleaves two algorithms:
+//
+//   - even rounds execute BitConvergence leader election with the node's
+//     seed as election payload; candidates converge to the minimum UID,
+//     whose seed thereby reaches everyone;
+//   - odd rounds execute SharedBit gossip, each node using as its "shared"
+//     string whatever R′ member its current candidate leader's payload
+//     points to. Before convergence nodes may use different strings and
+//     waste rounds; after convergence the execution is exactly SharedBit.
+//
+// Theorem 5.6: O(kn + (1/α)·Δ^{1/τ}·log⁶N) rounds w.h.p.
+type SimSharedBit struct {
+	st    *State
+	lead  *leader.Protocol
+	space *prand.SeedSpace
+	// strings caches the materialized R′ member per seed index.
+	strings map[uint64]*prand.SharedString
+}
+
+var _ mtm.Protocol = (*SimSharedBit)(nil)
+
+// NewSimSharedBit returns a SimSharedBit protocol over st. seeds[u] is node
+// u's private draw from the seed space (use SampleSeeds); UID of node u is
+// u+1.
+func NewSimSharedBit(st *State, space *prand.SeedSpace, seeds []uint64) *SimSharedBit {
+	ids := make([]int, st.n)
+	for u := range ids {
+		ids[u] = u + 1
+	}
+	return &SimSharedBit{
+		st:      st,
+		lead:    leader.New(ids, seeds),
+		space:   space,
+		strings: make(map[uint64]*prand.SharedString, 4),
+	}
+}
+
+// SampleSeeds draws one private R′ index per node from rng.
+func SampleSeeds(space *prand.SeedSpace, n int, rng *prand.RNG) []uint64 {
+	seeds := make([]uint64, n)
+	for u := range seeds {
+		seeds[u] = space.Sample(rng)
+	}
+	return seeds
+}
+
+// State exposes the run state for instrumentation.
+func (p *SimSharedBit) State() *State { return p.st }
+
+// Leader exposes the embedded election for instrumentation.
+func (p *SimSharedBit) Leader() *leader.Protocol { return p.lead }
+
+// stringFor returns the R′ member node u currently believes is shared.
+func (p *SimSharedBit) stringFor(u mtm.NodeID) *prand.SharedString {
+	seed := p.lead.Payload(u)
+	s, ok := p.strings[seed]
+	if !ok {
+		s = p.space.String(seed)
+		// The cache only ever holds a handful of live seeds; bound it so an
+		// adversarial schedule cannot grow it past O(n).
+		if len(p.strings) > 4*p.st.n {
+			p.strings = make(map[uint64]*prand.SharedString, 4)
+		}
+		p.strings[seed] = s
+	}
+	return s
+}
+
+// gossipGroup maps an odd engine round to its SharedBit round group.
+func gossipGroup(r int) int { return (r + 1) / 2 }
+
+// leaderRound maps an even engine round to its election round.
+func leaderRound(r int) int { return r / 2 }
+
+// TagBits implements mtm.Protocol (b = 1).
+func (p *SimSharedBit) TagBits() int { return 1 }
+
+// Tag implements mtm.Protocol: dispatch on round parity.
+func (p *SimSharedBit) Tag(r int, u mtm.NodeID) uint64 {
+	if r%2 == 0 {
+		return p.lead.Tag(leaderRound(r), u)
+	}
+	return advertiseBit(p.stringFor(u), p.st.sets[u], gossipGroup(r))
+}
+
+// Decide implements mtm.Protocol.
+func (p *SimSharedBit) Decide(r int, u mtm.NodeID, view []mtm.Neighbor, rng *prand.RNG) mtm.Action {
+	if r%2 == 0 {
+		return p.lead.Decide(leaderRound(r), u, view, rng)
+	}
+	shared := p.stringFor(u)
+	own := advertiseBit(shared, p.st.sets[u], gossipGroup(r))
+	return decideSharedBit(shared, own, gossipGroup(r), u, view)
+}
+
+// Exchange implements mtm.Protocol.
+func (p *SimSharedBit) Exchange(r int, c *mtm.Conn) {
+	if r%2 == 0 {
+		p.lead.Exchange(leaderRound(r), c)
+		return
+	}
+	eqtest.Transfer(c, p.st.sets[c.Initiator], p.st.sets[c.Responder], p.st.transferEps)
+}
+
+// Done implements mtm.Protocol: gossip completion is the objective; the
+// election is only a means.
+func (p *SimSharedBit) Done() bool { return p.st.AllDone() }

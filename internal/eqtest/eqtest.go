@@ -1,0 +1,216 @@
+// Package eqtest implements §3 of the paper: the randomized set-equality
+// test EQTest from two-party communication complexity, and the Transfer(ε)
+// subroutine built on it. Transfer lets two connected nodes with token sets
+// T_u ≠ T_v identify — using only O(log²N · log(logN/ε)) exchanged control
+// bits — the smallest token in the symmetric difference, which the owner
+// then transfers.
+//
+// EQTest uses Rabin set fingerprinting with private randomness: encode a set
+// S ⊆ [N] as the integer Σ_{t∈S} 2^t; one party draws a random prime q from
+// a range with ≥ 2N primes and sends (q, fingerprint mod q). Equal sets
+// always agree; unequal sets collide with probability ≤ 1/2 per trial
+// (the nonzero difference integer is < 2^{N+1} and so has ≤ N+1 prime
+// divisors). Trials are independent, so c trials drive the one-sided error
+// to 2^{-c} — exactly the contract §3 assumes.
+package eqtest
+
+import (
+	"math"
+	"math/bits"
+
+	"mobilegossip/internal/mtm"
+	"mobilegossip/internal/prand"
+	"mobilegossip/internal/tokenset"
+)
+
+// primeRangeFor returns the upper end T of the prime sampling range for
+// universe size n, chosen so that [2, T] contains comfortably more than 2n
+// primes (π(T) ≈ T/ln T ≥ 2n for T = 8·n·(log₂ n + 2)).
+func primeRangeFor(n int) uint64 {
+	if n < 4 {
+		n = 4
+	}
+	lg := uint64(bits.Len(uint(n))) + 2
+	return 8 * uint64(n) * lg
+}
+
+// randomPrime samples a uniform prime in [3, limit] by rejection.
+func randomPrime(rng *prand.RNG, limit uint64) uint64 {
+	if limit < 5 {
+		limit = 5
+	}
+	for {
+		q := 3 + uint64(rng.Intn(int(limit-2)))
+		if isPrime(q) {
+			return q
+		}
+	}
+}
+
+// isPrime is a deterministic Miller–Rabin test valid for all uint64.
+func isPrime(n uint64) bool {
+	if n < 2 {
+		return false
+	}
+	for _, p := range []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} {
+		if n == p {
+			return true
+		}
+		if n%p == 0 {
+			return false
+		}
+	}
+	d := n - 1
+	r := 0
+	for d%2 == 0 {
+		d /= 2
+		r++
+	}
+	// These witnesses are sufficient for all n < 2^64.
+	for _, a := range []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} {
+		x := powMod(a%n, d, n)
+		if x == 1 || x == n-1 {
+			continue
+		}
+		composite := true
+		for i := 0; i < r-1; i++ {
+			x = mulMod(x, x, n)
+			if x == n-1 {
+				composite = false
+				break
+			}
+		}
+		if composite {
+			return false
+		}
+	}
+	return true
+}
+
+func powMod(b, e, m uint64) uint64 {
+	if m == 1 {
+		return 0
+	}
+	result := uint64(1)
+	b %= m
+	for e > 0 {
+		if e&1 == 1 {
+			result = mulMod(result, b, m)
+		}
+		b = mulMod(b, b, m)
+		e >>= 1
+	}
+	return result
+}
+
+func mulMod(a, b, m uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	_, rem := bits.Div64(hi%m, lo, m)
+	return rem
+}
+
+// EQResult reports one equality test's outcome and its communication cost.
+type EQResult struct {
+	Equal bool
+	Bits  int
+}
+
+// EQTest tests the equality of a∩[lo,hi] and b∩[lo,hi] with `trials`
+// independent fingerprint rounds using rng as the initiator's private
+// randomness. One-sided error: equal restrictions are always reported
+// equal; unequal restrictions are reported equal with probability at most
+// 2^{-trials}.
+func EQTest(rng *prand.RNG, a, b *tokenset.Set, lo, hi, trials int) EQResult {
+	if trials < 1 {
+		trials = 1
+	}
+	limit := primeRangeFor(a.Universe())
+	costPerTrial := 2*bits.Len64(limit) + 2 // q + fingerprint + framing
+	res := EQResult{Equal: true}
+	for i := 0; i < trials; i++ {
+		q := randomPrime(rng, limit)
+		res.Bits += costPerTrial
+		if a.HashRange(lo, hi, q) != b.HashRange(lo, hi, q) {
+			res.Equal = false
+			return res
+		}
+	}
+	return res
+}
+
+// trialsFor computes ε′ = ⌈log₂(log₂ N / ε)⌉, the per-EQTest trial count
+// Transfer(ε) uses so that a union bound over the ⌈log₂ N⌉ binary-search
+// steps keeps the total failure probability below ε (§3).
+func trialsFor(n int, eps float64) int {
+	if eps <= 0 {
+		eps = 1e-12
+	}
+	if eps >= 1 {
+		eps = 0.5
+	}
+	lgN := float64(bits.Len(uint(n)))
+	if lgN < 1 {
+		lgN = 1
+	}
+	t := int(math.Ceil(math.Log2(lgN / eps)))
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// Outcome describes what a Transfer call did.
+type Outcome struct {
+	// Moved reports whether a token was transferred.
+	Moved bool
+	// Token is the identified smallest symmetric-difference token when
+	// Moved (or when identified but owned by neither endpoint — impossible
+	// for correct searches, possible under fingerprint failure).
+	Token int
+	// ToResponder reports the transfer direction when Moved.
+	ToResponder bool
+	// Bits is the total control-bit cost of the call.
+	Bits int
+}
+
+// Transfer runs the Transfer(ε) subroutine of §3 over connection c between
+// the initiator's token set a and the responder's token set b, both subsets
+// of [1, N]. With probability ≥ 1−ε it identifies the smallest token in the
+// symmetric difference (if any) and moves it from the endpoint that knows
+// it into the other's set, charging the connection for all control bits and
+// the token payload. If the sets are equal it moves nothing.
+func Transfer(c *mtm.Conn, a, b *tokenset.Set, eps float64) Outcome {
+	n := a.Universe()
+	trials := trialsFor(n, eps)
+	rng := c.InitRNG
+	var out Outcome
+
+	lo, hi := 1, n
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		r := EQTest(rng, a, b, lo, mid, trials)
+		out.Bits += r.Bits
+		if !r.Equal {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	c.ChargeBits(out.Bits + 2) // plus direction/ownership framing
+	out.Token = lo
+
+	switch {
+	case a.Has(lo) && !b.Has(lo):
+		b.Add(lo)
+		out.Moved, out.ToResponder = true, true
+		c.ChargeTokens(1)
+	case b.Has(lo) && !a.Has(lo):
+		a.Add(lo)
+		out.Moved, out.ToResponder = true, false
+		c.ChargeTokens(1)
+	default:
+		// Sets equal (nothing to move) or the search was misled by a
+		// fingerprint collision (probability < ε).
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package eqtest
+
+// Property-based tests (testing/quick) for the §3 transfer machinery on
+// randomized set pairs, complementing the table-driven cases in
+// eqtest_test.go.
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mobilegossip/internal/mtm"
+	"mobilegossip/internal/prand"
+	"mobilegossip/internal/tokenset"
+)
+
+// setsFromFuzz decodes two token sets over [1, universe] from fuzz bytes.
+func setsFromFuzz(universe int, a, b []byte) (*tokenset.Set, *tokenset.Set) {
+	sa := tokenset.NewSet(universe)
+	sb := tokenset.NewSet(universe)
+	for i, x := range a {
+		if x%3 != 0 {
+			sa.Add((i*7+int(x))%universe + 1)
+		}
+	}
+	for i, x := range b {
+		if x%3 != 0 {
+			sb.Add((i*11+int(x))%universe + 1)
+		}
+	}
+	return sa, sb
+}
+
+// symmetricDifferenceMin returns the smallest token in exactly one of the
+// sets (0 if none) — the token Transfer(ε) is contracted to move.
+func symmetricDifferenceMin(a, b *tokenset.Set, universe int) int {
+	for t := 1; t <= universe; t++ {
+		if a.Has(t) != b.Has(t) {
+			return t
+		}
+	}
+	return 0
+}
+
+func TestTransferQuickProperty(t *testing.T) {
+	const universe = 96
+	seed := uint64(1)
+	f := func(araw, braw []byte) bool {
+		seed += 2
+		sa, sb := setsFromFuzz(universe, araw, braw)
+		wantToken := symmetricDifferenceMin(sa, sb, universe)
+
+		beforeA := sa.Clone()
+		beforeB := sb.Clone()
+		c := mtm.NewConn(1, 0, 1, prand.New(seed), prand.New(seed+1), 1<<30, 1<<30)
+		out := Transfer(c, sa, sb, 1e-9)
+
+		if wantToken == 0 {
+			// Equal sets: nothing may move or mutate.
+			if out.Moved {
+				t.Logf("moved token %d between equal sets", out.Token)
+				return false
+			}
+			return sa.Equal(beforeA) && sb.Equal(beforeB)
+		}
+
+		// Different sets: with ε = 1e-9 the transfer succeeds w.p. ≈ 1, and
+		// must move exactly the smallest symmetric-difference token to the
+		// side missing it; nothing else may change.
+		if !out.Moved || out.Token != wantToken {
+			t.Logf("want token %d, got %+v", wantToken, out)
+			return false
+		}
+		for tok := 1; tok <= universe; tok++ {
+			wantA := beforeA.Has(tok) || tok == wantToken && beforeB.Has(tok)
+			wantB := beforeB.Has(tok) || tok == wantToken && beforeA.Has(tok)
+			if sa.Has(tok) != wantA || sb.Has(tok) != wantB {
+				t.Logf("token %d corrupted: a %v→%v b %v→%v", tok,
+					beforeA.Has(tok), sa.Has(tok), beforeB.Has(tok), sb.Has(tok))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEQTestQuickEqualAlwaysEqual: equality testing has one-sided error —
+// equal sets must never be declared unequal, for any randomness.
+func TestEQTestQuickEqualAlwaysEqual(t *testing.T) {
+	const universe = 64
+	seed := uint64(100)
+	f := func(raw []byte) bool {
+		seed++
+		s, _ := setsFromFuzz(universe, raw, nil)
+		clone := s.Clone()
+		res := EQTest(prand.New(seed), s, clone, 1, universe, 3)
+		return res.Equal
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTransferChargesWithinContract: control bits per call stay within the
+// O(log²N · log(logN/ε)) contract for random inputs (using a generous
+// concrete constant).
+func TestTransferChargesWithinContract(t *testing.T) {
+	const universe = 128
+	seed := uint64(500)
+	f := func(araw, braw []byte) bool {
+		seed += 2
+		sa, sb := setsFromFuzz(universe, araw, braw)
+		c := mtm.NewConn(1, 0, 1, prand.New(seed), prand.New(seed+1), 1<<30, 1<<30)
+		Transfer(c, sa, sb, 0.01)
+		// log2(128) = 7; bound 64·log²N·log(logN/ε) with log(logN/ε) ≈ 10.
+		const bound = 64 * 7 * 7 * 10
+		if c.BitsUsed() > bound {
+			t.Logf("transfer used %d bits > bound %d", c.BitsUsed(), bound)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

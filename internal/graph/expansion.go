@@ -1,0 +1,171 @@
+package graph
+
+import (
+	"math/bits"
+	"sort"
+
+	"mobilegossip/internal/prand"
+)
+
+// Vertex expansion α(G) = min over nonempty S with |S| <= n/2 of |∂S|/|S|,
+// where ∂S is the set of vertices outside S adjacent to S (§2 of the paper).
+// Computing α exactly is NP-hard in general; we provide an exact
+// exponential-time routine for small n (used by tests and small experiment
+// reports) and a sampling + local-search estimator that returns an upper
+// bound on α for larger graphs.
+
+// exactExpansionLimit bounds the exact routine's subset enumeration (2^n).
+const exactExpansionLimit = 22
+
+// BoundarySize returns |∂S| for the subset S given as a bitmask (n <= 64).
+func (g *Graph) boundarySizeMask(mask uint64) int {
+	boundary := uint64(0)
+	for u := 0; u < g.N(); u++ {
+		if mask&(1<<uint(u)) == 0 {
+			continue
+		}
+		for _, v := range g.adj[u] {
+			if mask&(1<<uint(v)) == 0 {
+				boundary |= 1 << uint(v)
+			}
+		}
+	}
+	return bits.OnesCount64(boundary)
+}
+
+// BoundarySize returns |∂S| for an explicit vertex subset.
+func (g *Graph) BoundarySize(s []int) int {
+	in := make([]bool, g.N())
+	for _, u := range s {
+		in[u] = true
+	}
+	boundary := make([]bool, g.N())
+	count := 0
+	for _, u := range s {
+		for _, v := range g.adj[u] {
+			if !in[v] && !boundary[v] {
+				boundary[v] = true
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// ExactVertexExpansion computes α(G) by enumerating all subsets. It refuses
+// graphs with more than exactExpansionLimit vertices (ok = false).
+func (g *Graph) ExactVertexExpansion() (alpha float64, ok bool) {
+	n := g.N()
+	if n < 2 || n > exactExpansionLimit {
+		return 0, false
+	}
+	best := float64(n) // α ≤ 1 always; start above
+	half := n / 2
+	for mask := uint64(1); mask < 1<<uint(n); mask++ {
+		size := bits.OnesCount64(mask)
+		if size > half {
+			continue
+		}
+		a := float64(g.boundarySizeMask(mask)) / float64(size)
+		if a < best {
+			best = a
+		}
+	}
+	return best, true
+}
+
+// EstimateVertexExpansion returns an upper bound on α(G) obtained from
+// `samples` random seed subsets refined by greedy local search (moves that
+// reduce |∂S|/|S| while keeping |S| <= n/2). The true α is at most the
+// returned value. For n <= exactExpansionLimit the exact value is returned.
+func (g *Graph) EstimateVertexExpansion(samples int, rng *prand.RNG) float64 {
+	if a, ok := g.ExactVertexExpansion(); ok {
+		return a
+	}
+	n := g.N()
+	if n < 2 {
+		return 0
+	}
+	best := 1.0
+	// Deterministic BFS-ball candidates: balls around each vertex are the
+	// minimizers for ring/grid-like graphs.
+	for _, src := range []int{0, n / 3, n / 2, n - 1} {
+		dist := g.BFS(src)
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		// counting sort by distance
+		sortByKey(order, func(v int) int { return dist[v] })
+		for size := 1; size <= n/2; size++ {
+			a := float64(g.BoundarySize(order[:size])) / float64(size)
+			if a < best {
+				best = a
+			}
+		}
+	}
+	for s := 0; s < samples; s++ {
+		size := 1 + rng.Intn(n/2)
+		perm := rng.Perm(n)
+		set := append([]int(nil), perm[:size]...)
+		if a := g.localSearch(set); a < best {
+			best = a
+		}
+	}
+	return best
+}
+
+// localSearch greedily swaps/removes/adds single vertices to reduce the
+// expansion of the candidate set, returning the final ratio.
+func (g *Graph) localSearch(set []int) float64 {
+	n := g.N()
+	in := make([]bool, n)
+	for _, u := range set {
+		in[u] = true
+	}
+	cur := float64(g.BoundarySize(set)) / float64(len(set))
+	improved := true
+	for iter := 0; improved && iter < 2*n; iter++ {
+		improved = false
+		// Try adding each boundary vertex (often reduces the ratio by
+		// absorbing the boundary) while |S| <= n/2.
+		for v := 0; v < n; v++ {
+			if in[v] || len(set)+1 > n/2 {
+				continue
+			}
+			in[v] = true
+			cand := append(set, v)
+			a := float64(g.BoundarySize(cand)) / float64(len(cand))
+			if a < cur {
+				set, cur, improved = cand, a, true
+			} else {
+				in[v] = false
+			}
+		}
+		// Try removing each vertex.
+		for i := 0; i < len(set); i++ {
+			v := set[i]
+			in[v] = false
+			cand := make([]int, 0, len(set)-1)
+			cand = append(cand, set[:i]...)
+			cand = append(cand, set[i+1:]...)
+			if len(cand) == 0 {
+				in[v] = true
+				continue
+			}
+			a := float64(g.BoundarySize(cand)) / float64(len(cand))
+			if a < cur {
+				set, cur, improved = cand, a, true
+				i--
+			} else {
+				in[v] = true
+			}
+		}
+	}
+	return cur
+}
+
+// sortByKey stably sorts order in place by an integer key.
+func sortByKey(order []int, key func(int) int) {
+	sort.SliceStable(order, func(i, j int) bool { return key(order[i]) < key(order[j]) })
+}

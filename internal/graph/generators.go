@@ -1,0 +1,233 @@
+package graph
+
+import (
+	"fmt"
+
+	"mobilegossip/internal/prand"
+)
+
+// Path returns the path graph P_n.
+func Path(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		_ = b.AddEdge(i, i+1)
+	}
+	return b.Build(fmt.Sprintf("path(%d)", n))
+}
+
+// Cycle returns the cycle (ring) C_n for n >= 3; for n < 3 it degrades to a
+// path. Rings are the canonical low-expansion (α ≈ 4/n) topology.
+func Cycle(n int) *Graph {
+	if n < 3 {
+		return Path(n)
+	}
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		_ = b.AddEdge(i, (i+1)%n)
+	}
+	return b.Build(fmt.Sprintf("cycle(%d)", n))
+}
+
+// Complete returns K_n (α = 1, Δ = n−1).
+func Complete(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			_ = b.AddEdge(i, j)
+		}
+	}
+	return b.Build(fmt.Sprintf("complete(%d)", n))
+}
+
+// Star returns the star S_n: vertex 0 is the hub joined to 1..n-1.
+func Star(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 1; i < n; i++ {
+		_ = b.AddEdge(0, i)
+	}
+	return b.Build(fmt.Sprintf("star(%d)", n))
+}
+
+// DoubleStar returns the two-star graph from the paper's Ω(Δ²) discussion
+// (§1): two hubs u = 0 and v = 1 joined by an edge, each with ⌊(n−2)/2⌋
+// (plus remainder) private leaves. It is the worst case for blind
+// (b = 0) connection strategies.
+func DoubleStar(n int) *Graph {
+	b := NewBuilder(n)
+	if n >= 2 {
+		_ = b.AddEdge(0, 1)
+	}
+	for i := 2; i < n; i++ {
+		hub := i % 2 // alternate leaves between the two hubs
+		_ = b.AddEdge(hub, i)
+	}
+	return b.Build(fmt.Sprintf("doublestar(%d)", n))
+}
+
+// Grid returns the rows×cols grid graph.
+func Grid(rows, cols int) *Graph {
+	b := NewBuilder(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				_ = b.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				_ = b.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return b.Build(fmt.Sprintf("grid(%dx%d)", rows, cols))
+}
+
+// Hypercube returns the d-dimensional hypercube on 2^d vertices.
+func Hypercube(d int) *Graph {
+	n := 1 << uint(d)
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for bit := 0; bit < d; bit++ {
+			v := u ^ (1 << uint(bit))
+			if u < v {
+				_ = b.AddEdge(u, v)
+			}
+		}
+	}
+	return b.Build(fmt.Sprintf("hypercube(%d)", d))
+}
+
+// Barbell returns two K_m cliques joined by a path of length pathLen
+// (pathLen >= 1 edges including the bridging edges). Total vertices
+// 2m + max(pathLen-1, 0). A classic bottleneck (low α, high Δ) topology.
+func Barbell(m, pathLen int) *Graph {
+	if pathLen < 1 {
+		pathLen = 1
+	}
+	inner := pathLen - 1
+	n := 2*m + inner
+	b := NewBuilder(n)
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			_ = b.AddEdge(i, j)
+			_ = b.AddEdge(m+inner+i, m+inner+j)
+		}
+	}
+	prev := 0
+	for p := 0; p < inner; p++ {
+		_ = b.AddEdge(prev, m+p)
+		prev = m + p
+	}
+	_ = b.AddEdge(prev, m+inner)
+	return b.Build(fmt.Sprintf("barbell(%d,%d)", m, pathLen))
+}
+
+// Lollipop returns K_m with a pendant path of tail vertices.
+func Lollipop(m, tail int) *Graph {
+	n := m + tail
+	b := NewBuilder(n)
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			_ = b.AddEdge(i, j)
+		}
+	}
+	prev := 0
+	for p := 0; p < tail; p++ {
+		_ = b.AddEdge(prev, m+p)
+		prev = m + p
+	}
+	return b.Build(fmt.Sprintf("lollipop(%d,%d)", m, tail))
+}
+
+// GNP returns a connected Erdős–Rényi graph G(n, p): edges are sampled
+// independently and, if the sample is disconnected, a Hamiltonian-cycle
+// backbone over a random permutation is added (standard connectivity patch
+// that perturbs α and Δ negligibly for p above the connectivity threshold).
+func GNP(n int, p float64, rng *prand.RNG) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				_ = b.AddEdge(i, j)
+			}
+		}
+	}
+	g := b.Build(fmt.Sprintf("gnp(%d,%.3f)", n, p))
+	if g.Connected() {
+		return g
+	}
+	perm := rng.Perm(n)
+	for i := 0; i < n; i++ {
+		_ = b.AddEdge(perm[i], perm[(i+1)%n])
+	}
+	return b.Build(fmt.Sprintf("gnp(%d,%.3f)+cycle", n, p))
+}
+
+// RandomRegular returns a connected random d-regular graph via the
+// pairing/permutation model with retries. Random regular graphs with d >= 3
+// are expanders w.h.p. (constant α), the paper's "well-connected" regime.
+// If a simple connected d-regular matching is not found after the retry
+// budget, it falls back to a d-dimensional circulant (deterministic
+// expander-ish), so the function always returns a connected graph.
+func RandomRegular(n, d int, rng *prand.RNG) *Graph {
+	if d >= n {
+		d = n - 1
+	}
+	if n*d%2 == 1 {
+		d-- // n·d must be even
+	}
+	if d < 1 {
+		return Path(n)
+	}
+	for attempt := 0; attempt < 50; attempt++ {
+		g, ok := tryPairing(n, d, rng)
+		if ok && g.Connected() {
+			return g
+		}
+	}
+	return Circulant(n, d)
+}
+
+// tryPairing attempts one run of the configuration model.
+func tryPairing(n, d int, rng *prand.RNG) (*Graph, bool) {
+	stubs := make([]int, 0, n*d)
+	for v := 0; v < n; v++ {
+		for i := 0; i < d; i++ {
+			stubs = append(stubs, v)
+		}
+	}
+	// Shuffle stubs and pair consecutive ones.
+	for i := len(stubs) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		stubs[i], stubs[j] = stubs[j], stubs[i]
+	}
+	b := NewBuilder(n)
+	seen := make(map[[2]int]bool, n*d/2)
+	for i := 0; i+1 < len(stubs); i += 2 {
+		u, v := stubs[i], stubs[i+1]
+		if u == v {
+			return nil, false
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if seen[[2]int{u, v}] {
+			return nil, false
+		}
+		seen[[2]int{u, v}] = true
+		_ = b.AddEdge(u, v)
+	}
+	return b.Build(fmt.Sprintf("regular(%d,%d)", n, d)), true
+}
+
+// Circulant returns the circulant graph C_n(1, 2, ..., ⌈d/2⌉): each vertex i
+// is joined to i±s (mod n) for s = 1..⌈d/2⌉. Degree ≈ d; always connected.
+func Circulant(n, d int) *Graph {
+	b := NewBuilder(n)
+	half := (d + 1) / 2
+	for i := 0; i < n; i++ {
+		for s := 1; s <= half && s < n; s++ {
+			_ = b.AddEdge(i, (i+s)%n)
+		}
+	}
+	return b.Build(fmt.Sprintf("circulant(%d,%d)", n, d))
+}

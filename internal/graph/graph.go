@@ -1,0 +1,184 @@
+// Package graph provides the static network-topology substrate of the mobile
+// telephone model: undirected connected graphs, the generator families used
+// by the paper's analyses and lower bounds (rings, stars, the two-star Δ²
+// lower-bound graph of §1, expanders, ...), and the graph properties the
+// round-complexity bounds are phrased in — maximum degree Δ, diameter D, and
+// vertex expansion α (§2).
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Graph is an undirected simple graph on vertices 0..n-1 stored as sorted
+// adjacency lists. Graphs are immutable after construction through this
+// package's builders.
+type Graph struct {
+	adj  [][]int
+	name string
+}
+
+// Builder accumulates edges and produces an immutable Graph.
+type Builder struct {
+	n     int
+	edges map[[2]int]bool
+}
+
+// NewBuilder returns a Builder for a graph on n vertices.
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n, edges: make(map[[2]int]bool)}
+}
+
+// AddEdge adds the undirected edge {u, v}. Self-loops and out-of-range
+// endpoints are rejected with an error.
+func (b *Builder) AddEdge(u, v int) error {
+	if u == v {
+		return fmt.Errorf("graph: self-loop at %d", u)
+	}
+	if u < 0 || v < 0 || u >= b.n || v >= b.n {
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n)
+	}
+	if u > v {
+		u, v = v, u
+	}
+	b.edges[[2]int{u, v}] = true
+	return nil
+}
+
+// Build finalizes the graph with the given display name.
+func (b *Builder) Build(name string) *Graph {
+	adj := make([][]int, b.n)
+	for e := range b.edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	for _, l := range adj {
+		sort.Ints(l)
+	}
+	return &Graph{adj: adj, name: name}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.adj) }
+
+// Name returns the generator name for display.
+func (g *Graph) Name() string { return g.name }
+
+// Neighbors returns the sorted neighbor list of u. The returned slice is
+// shared; callers must not modify it.
+func (g *Graph) Neighbors(u int) []int { return g.adj[u] }
+
+// Degree returns the degree of u.
+func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool {
+	l := g.adj[u]
+	i := sort.SearchInts(l, v)
+	return i < len(l) && l[i] == v
+}
+
+// Edges returns all edges as (u < v) pairs.
+func (g *Graph) Edges() [][2]int {
+	var out [][2]int
+	for u, l := range g.adj {
+		for _, v := range l {
+			if u < v {
+				out = append(out, [2]int{u, v})
+			}
+		}
+	}
+	return out
+}
+
+// NumEdges returns the number of edges.
+func (g *Graph) NumEdges() int {
+	m := 0
+	for _, l := range g.adj {
+		m += len(l)
+	}
+	return m / 2
+}
+
+// MaxDegree returns Δ(G).
+func (g *Graph) MaxDegree() int {
+	d := 0
+	for _, l := range g.adj {
+		if len(l) > d {
+			d = len(l)
+		}
+	}
+	return d
+}
+
+// ErrDisconnected is returned by property routines that require connectivity.
+var ErrDisconnected = errors.New("graph: not connected")
+
+// Connected reports whether the graph is connected (true for n <= 1).
+func (g *Graph) Connected() bool {
+	n := g.N()
+	if n <= 1 {
+		return true
+	}
+	seen := make([]bool, n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range g.adj[u] {
+			if !seen[v] {
+				seen[v] = true
+				count++
+				stack = append(stack, v)
+			}
+		}
+	}
+	return count == n
+}
+
+// BFS returns the distance from src to every vertex (-1 if unreachable).
+func (g *Graph) BFS(src int) []int {
+	n := g.N()
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// Diameter returns the exact diameter via all-pairs BFS, or an error if the
+// graph is disconnected. O(n·m); intended for the sizes we simulate.
+func (g *Graph) Diameter() (int, error) {
+	n := g.N()
+	if n == 0 {
+		return 0, nil
+	}
+	d := 0
+	for u := 0; u < n; u++ {
+		for _, dd := range g.BFS(u) {
+			if dd < 0 {
+				return 0, ErrDisconnected
+			}
+			if dd > d {
+				d = dd
+			}
+		}
+	}
+	return d, nil
+}

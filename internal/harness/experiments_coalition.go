@@ -1,0 +1,115 @@
+package harness
+
+import (
+	"fmt"
+
+	"mobilegossip/internal/core"
+	"mobilegossip/internal/dyngraph"
+	"mobilegossip/internal/mtm"
+	"mobilegossip/internal/prand"
+	"mobilegossip/internal/tokenset"
+)
+
+func init() {
+	register(Experiment{ID: "E19", Title: "Lemma 7.3 coalition existence along a live run", Exhibit: "Lemma 7.3 / Thm 7.4 machinery", Run: runE19})
+}
+
+// runE19: Lemma 7.3 claims that in every round of a k = n execution,
+// either ε-gossip is already solved or a coalition with size in
+// [(ε/2)n, εn] exists. We verify the disjunction at every round of a
+// live SharedBit run and record how the coalition evolves: early rounds
+// have many singleton classes (case 3), late rounds consolidate into few
+// large classes (case 2), and finally case 1 fires.
+func runE19(o Options) (*Table, error) {
+	n := 48
+	if o.Quick {
+		n = 32
+	}
+	const eps = 0.5
+
+	st, err := core.NewState(n, core.OneTokenPerNode(n, n), 1e-9)
+	if err != nil {
+		return nil, err
+	}
+	proto := core.NewSharedBit(st, prand.NewSharedString(prand.Mix64(o.Seed^0x1f83_d9ab_fb41_bd6b)))
+	dyn := dyngraph.RotatingRegular(n, 4, 1, o.Seed+1)
+
+	type sample struct {
+		round, size, classes int
+		solved               bool
+	}
+	var trajectory []sample
+	violations := 0
+	solvedAt := 0
+
+	engCfg := mtm.Config{
+		Seed: prand.Mix64(o.Seed ^ 0x5be0_cd19_137e_2179),
+		OnRound: func(r int) {
+			c, solved := tokenset.FindCoalition(st.Sets(), eps)
+			if solved {
+				if solvedAt == 0 {
+					solvedAt = r
+				}
+			} else {
+				half := eps * float64(n) / 2
+				limit := eps * float64(n)
+				if float64(c.Size()) < half || float64(c.Size()) > limit {
+					violations++
+				}
+			}
+			trajectory = append(trajectory, sample{r, c.Size(), c.Classes, solved})
+		},
+	}
+	res, err := mtm.NewEngine(dyn, proto, engCfg).Run()
+	if err != nil {
+		return nil, err
+	}
+	if !res.Completed {
+		return nil, fmt.Errorf("harness: E19 gossip unsolved after %d rounds", res.Rounds)
+	}
+	if violations > 0 {
+		return nil, fmt.Errorf("harness: Lemma 7.3 violated in %d rounds", violations)
+	}
+
+	t := &Table{
+		ID: "E19",
+		Caption: fmt.Sprintf(
+			"Lemma 7.3 along a SharedBit run (k=n=%d, ε=%.2f, τ=1 rotating 4-regular)", n, eps),
+		Columns: []string{"round", "coalition size", "classes", "ε-solved"},
+	}
+	// Sample the trajectory at a handful of representative rounds.
+	idxs := sampleIndices(len(trajectory), 8)
+	for _, i := range idxs {
+		s := trajectory[i]
+		t.Rows = append(t.Rows, []string{
+			fmtF(float64(s.round)), fmtF(float64(s.size)), fmtF(float64(s.classes)),
+			fmt.Sprintf("%v", s.solved),
+		})
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"every one of %d rounds satisfied the Lemma 7.3 disjunction (coalition in [(ε/2)n, εn] = [%.0f, %.0f], or solved)",
+		len(trajectory), eps*float64(n)/2, eps*float64(n)))
+	if solvedAt > 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"ε-gossip (case 1) first held at round %d of %d total — the relaxed objective "+
+				"is reached well before full gossip, as Thm 7.4 exploits", solvedAt, res.Rounds))
+	}
+	return t, nil
+}
+
+// sampleIndices picks up to m roughly evenly spaced indices of a slice of
+// length n, always including the first and last.
+func sampleIndices(n, m int) []int {
+	if n <= m {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	out := make([]int, 0, m)
+	for i := 0; i < m; i++ {
+		out = append(out, i*(n-1)/(m-1))
+	}
+	return out
+}

@@ -1,0 +1,60 @@
+package harness
+
+import (
+	"fmt"
+
+	"mobilegossip"
+	"mobilegossip/internal/core"
+	"mobilegossip/internal/stats"
+)
+
+func init() {
+	register(Experiment{ID: "E20", Title: "CrowdedBin schedule-constant ablation (β, γ)", Exhibit: "§6 schedule constants / Lemma 6.5 tradeoff", Run: runE20})
+}
+
+// runE20: CrowdedBin's schedule multiplies k/α by β·γ·log³N-ish constants
+// (tags are β·logN bits, bins hold γ·logN blocks). The paper wants β ≥ c+3
+// and γ ≥ 3c+9 for N^{-c} failure probability; simulations trade those
+// down. This ablation quantifies the trade: round cost grows ≈ β·γ while
+// correctness (all runs solve) holds even at the small defaults, because
+// the failure events the big constants guard against are rare at these
+// sizes.
+func runE20(o Options) (*Table, error) {
+	n, k := 48, 6
+	if o.Quick {
+		n, k = 32, 4
+	}
+	t := &Table{
+		ID: "E20",
+		Caption: fmt.Sprintf(
+			"CrowdedBin constants (n=%d, k=%d, static 4-regular): rounds vs (β, γ)", n, k),
+		Columns: []string{"β", "γ", "rounds", "solved"},
+	}
+	type pt struct{ beta, gamma int }
+	pts := []pt{{2, 2}, {2, 4}, {4, 2}, {4, 4}, {3, 9}}
+	var base, largest float64
+	for i, p := range pts {
+		r, err := meanRounds(o, mobilegossip.Config{
+			Algorithm: mobilegossip.AlgCrowdedBin, N: n, K: k,
+			Topology:   mobilegossip.Topology{Kind: mobilegossip.RandomRegular, Degree: 4},
+			CrowdedBin: core.CrowdedBinConfig{Beta: p.beta, Gamma: p.gamma},
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmtF(float64(p.beta)), fmtF(float64(p.gamma)), fmtF(r), "yes",
+		})
+		if i == 0 {
+			base = r
+		}
+		largest = r
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"rounds scale ≈ %.1fx from the simulation defaults (β=2, γ=2) to paper-grade "+
+			"constants (β=3, γ=9 for c=0) — pure schedule overhead; every configuration "+
+			"solved gossip, so the defaults preserve correctness at simulation sizes while "+
+			"the large constants only buy failure-probability exponent",
+		stats.Ratio(base, largest)))
+	return t, nil
+}

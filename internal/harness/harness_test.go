@@ -1,0 +1,167 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 21 {
+		t.Fatalf("registry has %d experiments, want 21 (E1..E14 paper exhibits + E15..E21 ablations)", len(all))
+	}
+	for i, e := range all {
+		if want := i + 1; expOrder(e.ID) != want {
+			t.Errorf("position %d: got %s", i, e.ID)
+		}
+		if e.Title == "" || e.Exhibit == "" || e.Run == nil {
+			t.Errorf("%s: incomplete metadata", e.ID)
+		}
+	}
+}
+
+func TestTableRenderCSV(t *testing.T) {
+	tab := &Table{
+		ID: "EX", Caption: "demo",
+		Columns: []string{"a", "b"},
+		Rows:    [][]string{{"1", "va,lue"}, {"2", "plain"}},
+		Notes:   []string{"a note"},
+	}
+	var buf bytes.Buffer
+	if err := tab.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# EX: demo\n",
+		"a,b\n",
+		"\"va,lue\"", // comma-containing cells must be quoted
+		"2,plain\n",
+		"# note: a note\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CSV output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestAllExperimentsRunQuick executes every registered experiment at quick
+// sizes: the full reproduction suite must stay runnable. Skipped under
+// -short (it takes ~15 s).
+func TestAllExperimentsRunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep skipped in -short mode")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tab, err := e.Run(Options{Quick: true, Seed: 42})
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(tab.Rows) == 0 {
+				t.Errorf("%s produced no rows", e.ID)
+			}
+			if len(tab.Columns) == 0 {
+				t.Errorf("%s has no columns", e.ID)
+			}
+			for _, row := range tab.Rows {
+				if len(row) != len(tab.Columns) {
+					t.Errorf("%s: row width %d != %d columns", e.ID, len(row), len(tab.Columns))
+				}
+			}
+			var buf bytes.Buffer
+			if err := tab.Render(&buf); err != nil {
+				t.Errorf("%s render: %v", e.ID, err)
+			}
+			if err := tab.RenderCSV(&buf); err != nil {
+				t.Errorf("%s render CSV: %v", e.ID, err)
+			}
+		})
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := Lookup("e1"); !ok {
+		t.Fatal("lower-case lookup failed")
+	}
+	if _, ok := Lookup("E14"); !ok {
+		t.Fatal("E14 lookup failed")
+	}
+	if _, ok := Lookup("e99"); ok {
+		t.Fatal("bogus id found")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		ID: "EX", Caption: "demo",
+		Columns: []string{"a", "b"},
+		Rows:    [][]string{{"1", "2"}},
+		Notes:   []string{"hello"},
+	}
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"EX", "demo", "a", "note: hello"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFmtF(t *testing.T) {
+	cases := map[float64]string{
+		3:      "3",
+		3.5:    "3.50",
+		123.4:  "123",
+		-200.7: "-201",
+	}
+	for in, want := range cases {
+		if got := fmtF(in); got != want {
+			t.Errorf("fmtF(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// Fast smoke tests: the cheap experiments run end-to-end in quick mode.
+// (E1-E7 are exercised by the benchmark harness and cmd/benchtable; they
+// are too slow for the unit suite at full trial counts.)
+func TestQuickExperiments(t *testing.T) {
+	for _, id := range []string{"E9", "E12", "E13"} {
+		e, ok := Lookup(id)
+		if !ok {
+			t.Fatalf("%s missing", id)
+		}
+		tab, err := e.Run(Options{Quick: true, Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tab.Rows) == 0 {
+			t.Fatalf("%s: empty table", id)
+		}
+		var buf bytes.Buffer
+		if err := tab.Render(&buf); err != nil {
+			t.Fatalf("%s render: %v", id, err)
+		}
+	}
+}
+
+func TestE8TransferExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	e, _ := Lookup("E8")
+	tab, err := e.Run(Options{Quick: true, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range tab.Notes {
+		if strings.Contains(n, "WARNING") {
+			t.Errorf("transfer failure rate exceeded ε: %s", n)
+		}
+	}
+}

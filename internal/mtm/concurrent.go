@@ -1,0 +1,83 @@
+package mtm
+
+import (
+	"runtime"
+	"sync"
+
+	"mobilegossip/internal/graph"
+)
+
+// The concurrent backend parallelizes the two per-round phases that the
+// protocol contract makes embarrassingly parallel: per-node Decide calls
+// (node u's Decide touches only u's state and RNG) and per-connection
+// Exchange calls (connections form a matching, so endpoint states are
+// disjoint). Because every call consumes exactly the same per-node RNG
+// streams as the sequential backend, the two backends produce identical
+// executions — verified by TestBackendsIdentical.
+
+// decideConcurrent runs the scan+decide phase across worker goroutines.
+func (e *Engine) decideConcurrent(r int, g *graph.Graph, tags []uint64, acts []Action) {
+	n := g.N()
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			view := make([]Neighbor, 0, 64)
+			for u := lo; u < hi; u++ {
+				view = view[:0]
+				for _, v := range g.Neighbors(u) {
+					view = append(view, Neighbor{ID: v, Tag: tags[v]})
+				}
+				acts[u] = e.proto.Decide(r, u, view, e.rngs[u])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// exchangeConcurrent runs all per-connection exchanges in parallel.
+func (e *Engine) exchangeConcurrent(r int, conns []*Conn) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(conns) {
+		workers = len(conns)
+	}
+	if workers <= 1 {
+		for _, c := range conns {
+			e.proto.Exchange(r, c)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan *Conn)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range next {
+				e.proto.Exchange(r, c)
+			}
+		}()
+	}
+	for _, c := range conns {
+		next <- c
+	}
+	close(next)
+	wg.Wait()
+}

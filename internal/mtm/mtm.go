@@ -1,0 +1,317 @@
+// Package mtm implements the mobile telephone model of Ghaffari–Newport
+// (DISC'16) and Newport (PODC'17 — the reproduced paper, §2): synchronous
+// rounds over a dynamic connected topology in which every node advertises a
+// b-bit tag, scans its neighbors (learning ids and tags), and then either
+// sends a single connection proposal or listens. A listening node that
+// receives proposals accepts one chosen uniformly at random; a node that
+// proposes cannot receive. The connected pairs — which always form a
+// matching — perform a bounded amount of interactive communication
+// (O(1) tokens plus O(polylog N) control bits) before the round ends.
+//
+// The Engine enforces every model constraint: one proposal per node,
+// proposer-cannot-receive, uniform acceptance, matching-only connections,
+// per-connection communication budgets, and the τ-stability of the topology
+// schedule. Two interchangeable backends (sequential, and concurrent
+// goroutine-per-connection) produce bit-identical executions because all
+// randomness is drawn from per-node streams and per-round connections are
+// vertex-disjoint.
+package mtm
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"mobilegossip/internal/dyngraph"
+	"mobilegossip/internal/prand"
+)
+
+// NodeID identifies a node; nodes are 0..n-1.
+type NodeID = int
+
+// Neighbor is one entry of a node's per-round scan: a neighbor's id and its
+// advertised tag (low b bits meaningful).
+type Neighbor struct {
+	ID  NodeID
+	Tag uint64
+}
+
+// Action is a node's per-round decision after scanning.
+type Action struct {
+	Propose bool
+	Target  NodeID // meaningful only when Propose
+}
+
+// Listen returns the listening action.
+func Listen() Action { return Action{} }
+
+// Propose returns a proposal aimed at target.
+func Propose(target NodeID) Action { return Action{Propose: true, Target: target} }
+
+// Protocol is a distributed algorithm in the mobile telephone model. A
+// Protocol owns the state of all nodes; the engine calls its methods with
+// explicit node ids. Contract required for the concurrent backend (and
+// checked by this package's determinism tests): Tag and Decide for node u
+// read/write only u's state; Exchange reads/writes only the two endpoint
+// states of its connection.
+type Protocol interface {
+	// TagBits returns the tag length b >= 0 the protocol uses.
+	TagBits() int
+	// Tag returns node's advertisement for round r.
+	Tag(r int, node NodeID) uint64
+	// Decide returns node's action for round r given its scan view. The
+	// view slice is reused by the engine and must not be retained. rng is
+	// the node's private randomness stream.
+	Decide(r int, node NodeID, view []Neighbor, rng *prand.RNG) Action
+	// Exchange performs the bounded pairwise communication over an accepted
+	// connection.
+	Exchange(r int, c *Conn)
+	// Done reports whether the protocol's objective has been reached; the
+	// engine checks it at the end of every round.
+	Done() bool
+}
+
+// Conn is one accepted connection. Protocols meter their communication
+// through ChargeBits and ChargeTokens; exceeding the model budget marks the
+// connection over budget, which Engine.Run surfaces as an error (the
+// algorithms in this repository are tested to stay within budget).
+type Conn struct {
+	Round     int
+	Initiator NodeID
+	Responder NodeID
+	// InitRNG and RespRNG are the endpoints' private randomness streams.
+	InitRNG *prand.RNG
+	RespRNG *prand.RNG
+
+	bitsUsed   int
+	tokensUsed int
+	bitLimit   int
+	tokenLimit int
+	overBudget bool
+}
+
+// NewConn constructs a standalone connection with the given budgets. The
+// engine builds its own connections; this constructor exists for unit tests
+// and for protocols that meter sub-phases independently.
+func NewConn(round int, initiator, responder NodeID, initRNG, respRNG *prand.RNG, bitLimit, tokenLimit int) *Conn {
+	return &Conn{
+		Round: round, Initiator: initiator, Responder: responder,
+		InitRNG: initRNG, RespRNG: respRNG,
+		bitLimit: bitLimit, tokenLimit: tokenLimit,
+	}
+}
+
+// ChargeBits records n control bits of interactive communication.
+func (c *Conn) ChargeBits(n int) {
+	c.bitsUsed += n
+	if c.bitsUsed > c.bitLimit {
+		c.overBudget = true
+	}
+}
+
+// ChargeTokens records the transfer of n full gossip tokens.
+func (c *Conn) ChargeTokens(n int) {
+	c.tokensUsed += n
+	if c.tokensUsed > c.tokenLimit {
+		c.overBudget = true
+	}
+}
+
+// BitsUsed returns the control bits charged so far.
+func (c *Conn) BitsUsed() int { return c.bitsUsed }
+
+// TokensUsed returns the tokens charged so far.
+func (c *Conn) TokensUsed() int { return c.tokensUsed }
+
+// OverBudget reports whether the connection exceeded the model budget.
+func (c *Conn) OverBudget() bool { return c.overBudget }
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Seed derives every private randomness stream of the run.
+	Seed uint64
+	// MaxRounds aborts the run if the protocol is not Done by then.
+	MaxRounds int
+	// Concurrent selects the goroutine-per-connection backend.
+	Concurrent bool
+	// BitLimit overrides the per-connection control-bit budget
+	// (default 64·(⌈log₂ N⌉+1)³, a generous polylog(N)).
+	BitLimit int
+	// TokenLimit overrides the per-connection token budget (default 4,
+	// an O(1)).
+	TokenLimit int
+	// OnRound, if non-nil, is called after every completed round with the
+	// round number; used by the harness for instrumentation (φ traces).
+	OnRound func(r int)
+}
+
+// Result summarizes a run.
+type Result struct {
+	Rounds      int   // rounds executed
+	Completed   bool  // protocol reported Done
+	Connections int64 // accepted connections
+	Proposals   int64 // proposals sent
+	ControlBits int64 // total metered control bits
+	TokensMoved int64 // total metered token transfers
+}
+
+// Engine drives a Protocol over a dynamic topology.
+type Engine struct {
+	dyn   dyngraph.Dynamic
+	proto Protocol
+	cfg   Config
+	rngs  []*prand.RNG
+}
+
+// ErrBudgetExceeded is returned when any connection exceeded its
+// communication budget during the run.
+var ErrBudgetExceeded = errors.New("mtm: connection exceeded communication budget")
+
+// ErrTagTooWide is returned when a protocol advertises more bits than its
+// declared tag length.
+var ErrTagTooWide = errors.New("mtm: tag wider than declared tag length")
+
+// NewEngine returns an engine for proto over dyn.
+func NewEngine(dyn dyngraph.Dynamic, proto Protocol, cfg Config) *Engine {
+	n := dyn.N()
+	if cfg.MaxRounds <= 0 {
+		cfg.MaxRounds = 1 << 22
+	}
+	if cfg.BitLimit <= 0 {
+		lg := bits.Len(uint(n)) + 1
+		cfg.BitLimit = 64 * lg * lg * lg
+	}
+	if cfg.TokenLimit <= 0 {
+		cfg.TokenLimit = 4
+	}
+	e := &Engine{dyn: dyn, proto: proto, cfg: cfg, rngs: make([]*prand.RNG, n)}
+	for u := 0; u < n; u++ {
+		e.rngs[u] = prand.New(prand.Mix64(cfg.Seed ^ (uint64(u)+1)*0xd6e8feb86659fd93))
+	}
+	return e
+}
+
+// NodeRNG exposes node u's private stream (used by protocols that need
+// initialization randomness before round 1, e.g. SimSharedBit seed choice).
+func (e *Engine) NodeRNG(u NodeID) *prand.RNG { return e.rngs[u] }
+
+// Run executes rounds until the protocol is Done or MaxRounds elapse.
+func (e *Engine) Run() (Result, error) {
+	var res Result
+	if e.proto.Done() {
+		res.Completed = true
+		return res, nil
+	}
+	n := e.dyn.N()
+	b := e.proto.TagBits()
+	tagMask := uint64(0)
+	if b > 0 {
+		if b >= 64 {
+			tagMask = ^uint64(0)
+		} else {
+			tagMask = (uint64(1) << uint(b)) - 1
+		}
+	}
+	tags := make([]uint64, n)
+	acts := make([]Action, n)
+	incoming := make([][]NodeID, n)
+	overBudget := false
+
+	for r := 1; r <= e.cfg.MaxRounds; r++ {
+		g := e.dyn.At(r)
+
+		// Advertise: every node picks its b-bit tag.
+		for u := 0; u < n; u++ {
+			tags[u] = e.proto.Tag(r, u)
+			if tags[u]&^tagMask != 0 {
+				return res, fmt.Errorf("%w: node %d round %d tag %#x with b=%d",
+					ErrTagTooWide, u, r, tags[u], b)
+			}
+		}
+
+		// Scan + decide.
+		if e.cfg.Concurrent {
+			e.decideConcurrent(r, g, tags, acts)
+		} else {
+			view := make([]Neighbor, 0, 64)
+			for u := 0; u < n; u++ {
+				view = view[:0]
+				for _, v := range g.Neighbors(u) {
+					view = append(view, Neighbor{ID: v, Tag: tags[v]})
+				}
+				acts[u] = e.proto.Decide(r, u, view, e.rngs[u])
+			}
+		}
+
+		// Deliver proposals: a proposer cannot receive, and proposals to
+		// proposers are lost (the target is busy sending).
+		for u := range incoming {
+			incoming[u] = incoming[u][:0]
+		}
+		for u := 0; u < n; u++ {
+			if !acts[u].Propose {
+				continue
+			}
+			res.Proposals++
+			t := acts[u].Target
+			if t < 0 || t >= n || t == u || !g.HasEdge(u, t) {
+				continue // malformed proposal is simply lost
+			}
+			if acts[t].Propose {
+				continue // target is itself proposing; cannot receive
+			}
+			incoming[t] = append(incoming[t], u)
+		}
+
+		// Accept: each listener with proposals picks one uniformly with its
+		// own randomness; connections therefore form a matching.
+		type pair struct{ u, v NodeID }
+		pairs := make([]pair, 0, n/2)
+		for v := 0; v < n; v++ {
+			in := incoming[v]
+			if len(in) == 0 {
+				continue
+			}
+			u := in[e.rngs[v].Intn(len(in))]
+			pairs = append(pairs, pair{u, v})
+		}
+
+		// Communicate over each accepted connection.
+		conns := make([]*Conn, len(pairs))
+		for i, p := range pairs {
+			conns[i] = &Conn{
+				Round: r, Initiator: p.u, Responder: p.v,
+				InitRNG: e.rngs[p.u], RespRNG: e.rngs[p.v],
+				bitLimit: e.cfg.BitLimit, tokenLimit: e.cfg.TokenLimit,
+			}
+		}
+		if e.cfg.Concurrent {
+			e.exchangeConcurrent(r, conns)
+		} else {
+			for _, c := range conns {
+				e.proto.Exchange(r, c)
+			}
+		}
+		for _, c := range conns {
+			res.Connections++
+			res.ControlBits += int64(c.bitsUsed)
+			res.TokensMoved += int64(c.tokensUsed)
+			if c.overBudget {
+				overBudget = true
+			}
+		}
+
+		res.Rounds = r
+		if e.cfg.OnRound != nil {
+			e.cfg.OnRound(r)
+		}
+		if e.proto.Done() {
+			res.Completed = true
+			break
+		}
+	}
+	if overBudget {
+		return res, ErrBudgetExceeded
+	}
+	return res, nil
+}

@@ -1,0 +1,112 @@
+// Package prand provides the deterministic randomness substrate used by the
+// gossip algorithms: a fast seedable PRNG, a keyed pseudorandom bit function
+// standing in for the shared random string r̂ of SharedBit (§5.1 of the
+// paper), and the poly(N)-size seed multiset R′ whose existence is proved by
+// the paper's generalization of Newman's theorem (§5.2).
+//
+// All randomness in the repository flows from this package so that entire
+// simulations are reproducible from a single 64-bit run seed.
+package prand
+
+import "math/bits"
+
+// splitMix64 advances a SplitMix64 state and returns the next output.
+// SplitMix64 passes BigCrush and is the standard seeder for xoshiro.
+func splitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Mix64 hashes x through one SplitMix64 round. It is used to derive
+// independent stream keys from (seed, label) pairs.
+func Mix64(x uint64) uint64 {
+	s := x
+	return splitMix64(&s)
+}
+
+// RNG is a small, fast, seedable PRNG (xoshiro256**). The zero value is not
+// valid; construct with New. RNG is not safe for concurrent use; the engine
+// gives each node its own RNG.
+type RNG struct {
+	s [4]uint64
+}
+
+// New returns an RNG seeded from seed via SplitMix64 expansion.
+func New(seed uint64) *RNG {
+	var r RNG
+	r.Seed(seed)
+	return &r
+}
+
+// Seed resets the generator to the stream identified by seed.
+func (r *RNG) Seed(seed uint64) {
+	st := seed
+	for i := range r.s {
+		r.s[i] = splitMix64(&st)
+	}
+	// xoshiro must not start at the all-zero state; SplitMix64 of any seed
+	// cannot produce four zero outputs in a row, but guard regardless.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+}
+
+// Uint64 returns the next 64 uniform pseudorandom bits.
+func (r *RNG) Uint64() uint64 {
+	s := &r.s
+	result := bits.RotateLeft64(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = bits.RotateLeft64(s[3], 45)
+	return result
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0, mirroring
+// math/rand; callers in this repository always pass validated n.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("prand: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded sampling.
+	un := uint64(n)
+	v := r.Uint64()
+	hi, lo := bits.Mul64(v, un)
+	if lo < un {
+		threshold := -un % un
+		for lo < threshold {
+			v = r.Uint64()
+			hi, lo = bits.Mul64(v, un)
+		}
+	}
+	return int(hi)
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns a fair coin flip.
+func (r *RNG) Bool() bool {
+	return r.Uint64()&1 == 1
+}
+
+// Perm returns a uniform permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

@@ -1,0 +1,80 @@
+package prand
+
+import "math/bits"
+
+// SharedString is the repository's stand-in for the shared random string r̂
+// used by the SharedBit algorithm (§5.1). The paper partitions r̂ into cN²
+// groups (one per round) of N bundles (one per token/node id) of ⌈log N⌉+1
+// bits. Materializing the Ω(N³ log N) bits is pointless in a simulation, so
+// we extract each bundle lazily from a keyed pseudorandom function
+// bit(seed, group, bundle, idx); the quantities the analysis relies on —
+// uniformity and independence across (group, bundle) pairs — are preserved.
+//
+// When the seed is drawn from SeedSpace (the poly(N)-size multiset R′ of
+// §5.2), a SharedString doubles as the Newman-style simulated shared
+// randomness disseminated by the elected leader in SimSharedBit.
+type SharedString struct {
+	seed uint64
+}
+
+// NewSharedString returns the shared string identified by seed.
+func NewSharedString(seed uint64) *SharedString {
+	return &SharedString{seed: seed}
+}
+
+// Seed returns the identifying seed (the "R′ index" a leader disseminates).
+func (s *SharedString) Seed() uint64 { return s.seed }
+
+// bundleWord returns 64 pseudorandom bits for (group, bundle, word).
+func (s *SharedString) bundleWord(group, bundle, word int) uint64 {
+	x := s.seed
+	x = Mix64(x ^ 0xa076_1d64_78bd_642f ^ uint64(group))
+	x = Mix64(x ^ 0xe703_7ed1_a0b4_28db ^ uint64(bundle))
+	x = Mix64(x ^ uint64(word))
+	return x
+}
+
+// TokenBit returns t.bit for token t in round group: the first bit of
+// bundle t of group group (§5.1, advertisement construction).
+func (s *SharedString) TokenBit(group, token int) int {
+	return int(s.bundleWord(group, token, 0) & 1)
+}
+
+// TokenBits returns the first b bits (1 ≤ b ≤ 64) of token t's bundle in
+// the given group, for the b > 1 generalization of the SharedBit
+// advertisement (the paper's remark that raising the tag length beyond 1
+// buys at most logarithmic factors; experiment E15).
+func (s *SharedString) TokenBits(group, token, b int) uint64 {
+	if b < 1 || b > 64 {
+		panic("prand: TokenBits width outside [1, 64]")
+	}
+	if b == 64 {
+		return s.bundleWord(group, token, 0)
+	}
+	return s.bundleWord(group, token, 0) & ((uint64(1) << uint(b)) - 1)
+}
+
+// UniformIndex uses the bits of the bundle belonging to id in group to pick
+// a uniform index in [0, n), mirroring the paper's use of bundle bits
+// 2..⌈log N⌉+1 for the proposal-target choice. A fresh word stream keyed by
+// (group, id) backs the rejection sampling.
+func (s *SharedString) UniformIndex(group, id, n int) int {
+	if n <= 0 {
+		panic("prand: UniformIndex with non-positive n")
+	}
+	if n == 1 {
+		return 0
+	}
+	// Rejection-sample from successive pseudorandom words.
+	width := bits.Len(uint(n - 1))
+	mask := (uint64(1) << uint(width)) - 1
+	for word := 1; ; word++ {
+		w := s.bundleWord(group, id, word)
+		for shift := 0; shift+width <= 64; shift += width {
+			v := (w >> uint(shift)) & mask
+			if v < uint64(n) {
+				return int(v)
+			}
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package prand
+
+import "testing"
+
+func TestTokenBitsLowBitMatchesTokenBit(t *testing.T) {
+	s := NewSharedString(42)
+	for group := 1; group <= 50; group++ {
+		for token := 1; token <= 50; token++ {
+			for _, b := range []int{1, 4, 17, 64} {
+				got := int(s.TokenBits(group, token, b) & 1)
+				if want := s.TokenBit(group, token); got != want {
+					t.Fatalf("TokenBits(%d,%d,%d) low bit %d != TokenBit %d",
+						group, token, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestTokenBitsWidthMask(t *testing.T) {
+	s := NewSharedString(7)
+	for _, b := range []int{1, 2, 8, 33, 63} {
+		for i := 0; i < 200; i++ {
+			v := s.TokenBits(i+1, 2*i+1, b)
+			if v>>uint(b) != 0 {
+				t.Fatalf("TokenBits width %d leaked high bits: %x", b, v)
+			}
+		}
+	}
+}
+
+func TestTokenBitsDeterministicAndSeedSensitive(t *testing.T) {
+	a := NewSharedString(1)
+	b := NewSharedString(1)
+	c := NewSharedString(2)
+	same, diff := 0, 0
+	for i := 1; i <= 300; i++ {
+		va := a.TokenBits(i, i*3+1, 16)
+		if vb := b.TokenBits(i, i*3+1, 16); va != vb {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+		if vc := c.TokenBits(i, i*3+1, 16); va == vc {
+			same++
+		} else {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("different seeds produced identical 16-bit streams")
+	}
+	_ = same
+}
+
+func TestTokenBitsBalancedPerPosition(t *testing.T) {
+	s := NewSharedString(99)
+	const trials = 4000
+	const width = 8
+	counts := make([]int, width)
+	for i := 0; i < trials; i++ {
+		v := s.TokenBits(i+1, (i%37)+1, width)
+		for j := 0; j < width; j++ {
+			if v&(1<<uint(j)) != 0 {
+				counts[j]++
+			}
+		}
+	}
+	for j, c := range counts {
+		frac := float64(c) / trials
+		if frac < 0.45 || frac > 0.55 {
+			t.Errorf("bit %d set in %.3f of samples, want ≈ 0.5", j, frac)
+		}
+	}
+}
+
+func TestTokenBitsPanicsOutsideRange(t *testing.T) {
+	s := NewSharedString(3)
+	for _, b := range []int{0, -1, 65} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("TokenBits(b=%d) should panic", b)
+				}
+			}()
+			s.TokenBits(1, 1, b)
+		}()
+	}
+}
+
+func TestTokenBitsFullWidth(t *testing.T) {
+	s := NewSharedString(11)
+	seen := make(map[uint64]bool)
+	for i := 1; i <= 100; i++ {
+		seen[s.TokenBits(i, i, 64)] = true
+	}
+	if len(seen) < 100 {
+		t.Errorf("64-bit extraction produced only %d distinct values in 100 draws", len(seen))
+	}
+}

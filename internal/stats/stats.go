@@ -1,0 +1,113 @@
+// Package stats provides the small statistics toolkit the experiment
+// harness uses to summarize repeated trials and to fit scaling exponents
+// (log-log slopes) when checking the shape of the paper's complexity bounds.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Summary describes a sample of float64 observations.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64 // sample standard deviation
+	Min    float64
+	Median float64
+	Max    float64
+}
+
+// Summarize computes a Summary of xs. An empty sample yields a zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if len(xs) > 1 {
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s
+}
+
+// ErrBadFit is returned when a regression input is degenerate.
+var ErrBadFit = errors.New("stats: need at least two distinct finite points")
+
+// LinearFit returns the least-squares slope and intercept of y over x.
+func LinearFit(x, y []float64) (slope, intercept float64, err error) {
+	if len(x) != len(y) || len(x) < 2 {
+		return 0, 0, ErrBadFit
+	}
+	var sx, sy, sxx, sxy float64
+	n := float64(len(x))
+	for i := range x {
+		if math.IsNaN(x[i]) || math.IsInf(x[i], 0) || math.IsNaN(y[i]) || math.IsInf(y[i], 0) {
+			return 0, 0, ErrBadFit
+		}
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, 0, ErrBadFit
+	}
+	slope = (n*sxy - sx*sy) / den
+	intercept = (sy - slope*sx) / n
+	return slope, intercept, nil
+}
+
+// LogLogSlope fits rounds ≈ c·x^e on positive data and returns the exponent
+// e: the scaling-shape statistic used to compare measured growth against the
+// paper's bounds (e ≈ 1 for linear, ≈ 2 for quadratic, ≈ 0 for polylog).
+func LogLogSlope(x, y []float64) (float64, error) {
+	if len(x) != len(y) || len(x) < 2 {
+		return 0, ErrBadFit
+	}
+	lx := make([]float64, len(x))
+	ly := make([]float64, len(y))
+	for i := range x {
+		if x[i] <= 0 || y[i] <= 0 {
+			return 0, ErrBadFit
+		}
+		lx[i] = math.Log(x[i])
+		ly[i] = math.Log(y[i])
+	}
+	slope, _, err := LinearFit(lx, ly)
+	return slope, err
+}
+
+// Ratio returns b/a, the speedup/slowdown statistic used for head-to-head
+// rows ("who wins, by roughly what factor").
+func Ratio(a, b float64) float64 {
+	if a == 0 {
+		return math.Inf(1)
+	}
+	return b / a
+}

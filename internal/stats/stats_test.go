@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Fatalf("std = %f", s.Std)
+	}
+}
+
+func TestSummarizeEvenMedian(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.Median != 2.5 {
+		t.Fatalf("median = %f, want 2.5", s.Median)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Fatal("empty sample mishandled")
+	}
+	s := Summarize([]float64{7})
+	if s.N != 1 || s.Mean != 7 || s.Std != 0 || s.Median != 7 {
+		t.Fatalf("single sample: %+v", s)
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{5, 7, 9, 11} // y = 2x + 3
+	slope, intercept, err := LinearFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(slope-2) > 1e-12 || math.Abs(intercept-3) > 1e-12 {
+		t.Fatalf("fit = (%f, %f)", slope, intercept)
+	}
+}
+
+func TestLinearFitDegenerate(t *testing.T) {
+	if _, _, err := LinearFit([]float64{1}, []float64{2}); err != ErrBadFit {
+		t.Fatal("short input accepted")
+	}
+	if _, _, err := LinearFit([]float64{2, 2}, []float64{1, 5}); err != ErrBadFit {
+		t.Fatal("vertical line accepted")
+	}
+	if _, _, err := LinearFit([]float64{1, math.NaN()}, []float64{1, 2}); err != ErrBadFit {
+		t.Fatal("NaN accepted")
+	}
+}
+
+func TestLogLogSlopeRecoversExponent(t *testing.T) {
+	for _, e := range []float64{0.5, 1, 2, 3} {
+		var x, y []float64
+		for _, v := range []float64{8, 16, 32, 64, 128} {
+			x = append(x, v)
+			y = append(y, 3*math.Pow(v, e))
+		}
+		got, err := LogLogSlope(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-e) > 1e-9 {
+			t.Errorf("exponent %f recovered as %f", e, got)
+		}
+	}
+}
+
+func TestLogLogSlopeRejectsNonPositive(t *testing.T) {
+	if _, err := LogLogSlope([]float64{1, 0}, []float64{1, 2}); err != ErrBadFit {
+		t.Fatal("zero x accepted")
+	}
+	if _, err := LogLogSlope([]float64{1, 2}, []float64{-1, 2}); err != ErrBadFit {
+		t.Fatal("negative y accepted")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(2, 6) != 3 {
+		t.Fatal("ratio wrong")
+	}
+	if !math.IsInf(Ratio(0, 1), 1) {
+		t.Fatal("zero denominator should be +Inf")
+	}
+}
+
+func TestSummaryBoundsProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := raw[:0]
+		for _, v := range raw {
+			// Keep magnitudes bounded so sums cannot overflow — the harness
+			// only ever summarizes round counts and bit totals.
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e12 {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Median && s.Median <= s.Max &&
+			s.Min <= s.Mean && s.Mean <= s.Max && s.Std >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,206 @@
+package tokenset
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// buildSets constructs n sets over the given universe from explicit token
+// lists.
+func buildSets(universe int, lists [][]int) []*Set {
+	sets := make([]*Set, len(lists))
+	for i, l := range lists {
+		sets[i] = NewSet(universe)
+		for _, t := range l {
+			sets[i].Add(t)
+		}
+	}
+	return sets
+}
+
+func TestFindCoalitionEmptyIsSolved(t *testing.T) {
+	if _, solved := FindCoalition(nil, 0.5); !solved {
+		t.Error("empty configuration should report solved")
+	}
+}
+
+func TestFindCoalitionCase1Solved(t *testing.T) {
+	// 7 of 8 nodes share the same set: q_max = 7 > εn = 4 → solved.
+	lists := make([][]int, 8)
+	for i := 0; i < 7; i++ {
+		lists[i] = []int{1, 2, 3}
+	}
+	lists[7] = []int{4}
+	_, solved := FindCoalition(buildSets(8, lists), 0.5)
+	if !solved {
+		t.Error("q_max > εn should report solved (Lemma 7.3 case 1)")
+	}
+}
+
+func TestFindCoalitionCase2SingleClass(t *testing.T) {
+	// 3 of 8 nodes share a set: (ε/2)n = 2 ≤ 3 ≤ εn = 4 → that class alone.
+	lists := [][]int{
+		{1, 2}, {1, 2}, {1, 2},
+		{3}, {4}, {5}, {6}, {7},
+	}
+	c, solved := FindCoalition(buildSets(8, lists), 0.5)
+	if solved {
+		t.Fatal("should not be solved")
+	}
+	if c.Classes != 1 {
+		t.Errorf("classes = %d, want 1 (case 2)", c.Classes)
+	}
+	if c.Size() != 3 {
+		t.Errorf("size = %d, want 3", c.Size())
+	}
+	want := map[int]bool{0: true, 1: true, 2: true}
+	for _, m := range c.Members {
+		if !want[m] {
+			t.Errorf("unexpected member %d", m)
+		}
+	}
+}
+
+func TestFindCoalitionCase3Greedy(t *testing.T) {
+	// All sets distinct: q_max = 1 < (ε/2)n → greedy accumulates until
+	// reaching (ε/2)n = 3.
+	lists := make([][]int, 12)
+	for i := range lists {
+		lists[i] = []int{i + 1}
+	}
+	c, solved := FindCoalition(buildSets(12, lists), 0.5)
+	if solved {
+		t.Fatal("should not be solved")
+	}
+	if c.Size() < 3 || c.Size() > 6 {
+		t.Errorf("size = %d, want within [(ε/2)n, εn] = [3, 6]", c.Size())
+	}
+	if c.Classes != c.Size() {
+		t.Errorf("with all-distinct sets classes (%d) should equal size (%d)", c.Classes, c.Size())
+	}
+}
+
+// TestFindCoalitionClosedUnderSetEquality: no coalition member may share
+// its exact set with a non-member (coalitions are unions of whole F(r)
+// classes — the property Theorem 7.4's wasted-edge argument needs).
+func TestFindCoalitionClosedUnderSetEquality(t *testing.T) {
+	lists := [][]int{
+		{1, 2}, {1, 2}, {1, 2}, {1, 2},
+		{3}, {3}, {3},
+		{4, 5}, {4, 5},
+		{6}, {7}, {8},
+	}
+	sets := buildSets(12, lists)
+	c, solved := FindCoalition(sets, 0.5)
+	if solved {
+		t.Fatal("should not be solved")
+	}
+	in := make(map[int]bool, len(c.Members))
+	for _, m := range c.Members {
+		in[m] = true
+	}
+	for _, m := range c.Members {
+		for v := range sets {
+			if !in[v] && sets[v].Equal(sets[m]) {
+				t.Errorf("member %d shares its set with non-member %d", m, v)
+			}
+		}
+	}
+}
+
+// TestFindCoalitionPropertyRandom: for random configurations, the lemma's
+// disjunction always holds — either solved, or a coalition with size in
+// [(ε/2)n, εn] that is closed under set equality and duplicate-free.
+func TestFindCoalitionPropertyRandom(t *testing.T) {
+	f := func(raw []uint8, epsRaw uint8) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		if len(raw) > 40 {
+			raw = raw[:40]
+		}
+		n := len(raw)
+		universe := 16
+		lists := make([][]int, n)
+		for i, b := range raw {
+			// Up to 4 tokens per node derived from the fuzz byte.
+			for j := 0; j < 4; j++ {
+				if b&(1<<uint(j)) != 0 {
+					lists[i] = append(lists[i], (int(b)+5*j)%universe+1)
+				}
+			}
+		}
+		sets := buildSets(universe, lists)
+		eps := 0.25 + float64(epsRaw%50)/100 // ε ∈ [0.25, 0.74]
+
+		c, solved := FindCoalition(sets, eps)
+		if solved {
+			return true // case 1 is checked by the deterministic tests
+		}
+		half := eps * float64(n) / 2
+		limit := eps * float64(n)
+		if float64(c.Size()) < half-1e-9 || float64(c.Size()) > limit+1e-9 {
+			t.Logf("n=%d eps=%.2f size=%d not in [%.2f, %.2f]", n, eps, c.Size(), half, limit)
+			return false
+		}
+		seen := make(map[int]bool, c.Size())
+		for _, m := range c.Members {
+			if m < 0 || m >= n || seen[m] {
+				t.Logf("bad or duplicate member %d", m)
+				return false
+			}
+			seen[m] = true
+		}
+		for _, m := range c.Members {
+			for v := range sets {
+				if !seen[v] && sets[v].Equal(sets[m]) {
+					t.Logf("member %d shares set with outsider %d", m, v)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFindCoalitionDeterministic(t *testing.T) {
+	lists := [][]int{{1}, {2}, {1}, {3}, {2}, {4}, {5}, {6}}
+	a, _ := FindCoalition(buildSets(8, lists), 0.6)
+	b, _ := FindCoalition(buildSets(8, lists), 0.6)
+	if a.Size() != b.Size() || a.Classes != b.Classes {
+		t.Fatalf("non-deterministic: %+v vs %+v", a, b)
+	}
+	for i := range a.Members {
+		if a.Members[i] != b.Members[i] {
+			t.Fatalf("member order differs at %d", i)
+		}
+	}
+}
+
+// TestFindCoalitionCaseBoundary: q_max exactly εn is case 2 (not solved);
+// just above is case 1.
+func TestFindCoalitionCaseBoundary(t *testing.T) {
+	n := 10
+	eps := 0.5
+	mk := func(big int) []*Set {
+		lists := make([][]int, n)
+		for i := 0; i < big; i++ {
+			lists[i] = []int{1, 2}
+		}
+		for i := big; i < n; i++ {
+			lists[i] = []int{10 + i}
+		}
+		return buildSets(32, lists)
+	}
+	limit := int(math.Round(eps * float64(n))) // 5
+	if _, solved := FindCoalition(mk(limit), eps); solved {
+		t.Error("q_max = εn exactly should be case 2, not solved")
+	}
+	if _, solved := FindCoalition(mk(limit+1), eps); !solved {
+		t.Error("q_max > εn should be solved")
+	}
+}

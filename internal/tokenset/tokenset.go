@@ -1,0 +1,182 @@
+// Package tokenset implements the token-set substrate of the paper: gossip
+// tokens are labeled with ids in [1, N], every node maintains the set of
+// tokens it has learned, and the analyses in §5 and §7 are phrased in terms
+// of the potential function φ and the frequency multiset F(r) over these
+// sets. Sets are dense bitsets so that the fingerprinting and
+// symmetric-difference operations used by Transfer(ε) are cheap.
+package tokenset
+
+import "math/bits"
+
+// Set is a set of token ids in [1, N]. The zero value of Set is not usable;
+// construct with NewSet. Sets only grow: the model has no token loss.
+type Set struct {
+	words []uint64
+	n     int // universe upper bound N
+	count int
+}
+
+// NewSet returns an empty token set over the universe [1, n].
+func NewSet(n int) *Set {
+	return &Set{words: make([]uint64, (n+64)/64+1), n: n}
+}
+
+// Universe returns the universe bound N.
+func (s *Set) Universe() int { return s.n }
+
+// Add inserts token t. Tokens outside [1, N] are rejected (no-op) so that a
+// corrupted id cannot corrupt the bitset.
+func (s *Set) Add(t int) {
+	if t < 1 || t > s.n {
+		return
+	}
+	w, b := t/64, uint(t%64)
+	if s.words[w]&(1<<b) == 0 {
+		s.words[w] |= 1 << b
+		s.count++
+	}
+}
+
+// Has reports whether token t is in the set.
+func (s *Set) Has(t int) bool {
+	if t < 1 || t > s.n {
+		return false
+	}
+	return s.words[t/64]&(1<<uint(t%64)) != 0
+}
+
+// Len returns the number of tokens in the set.
+func (s *Set) Len() int { return s.count }
+
+// Clone returns an independent copy of the set.
+func (s *Set) Clone() *Set {
+	c := &Set{words: make([]uint64, len(s.words)), n: s.n, count: s.count}
+	copy(c.words, s.words)
+	return c
+}
+
+// Equal reports whether two sets over the same universe hold the same tokens.
+func (s *Set) Equal(o *Set) bool {
+	if s.count != o.count || s.n != o.n {
+		return false
+	}
+	for i, w := range s.words {
+		if w != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Tokens returns the tokens in increasing order.
+func (s *Set) Tokens() []int {
+	out := make([]int, 0, s.count)
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, wi*64+b)
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// ForEach calls f for every token in increasing order without allocating.
+func (s *Set) ForEach(f func(token int)) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			f(wi*64 + b)
+			w &= w - 1
+		}
+	}
+}
+
+// SmallestMissingFrom returns the smallest token that is in exactly one of
+// s and o (the token Transfer(ε) identifies), and ok=false if the sets are
+// equal. This is the "oracle" ground truth the randomized Transfer is tested
+// against.
+func (s *Set) SmallestMissingFrom(o *Set) (token int, ok bool) {
+	for i := range s.words {
+		if d := s.words[i] ^ o.words[i]; d != 0 {
+			return i*64 + bits.TrailingZeros64(d), true
+		}
+	}
+	return 0, false
+}
+
+// CountRange returns |s ∩ [lo, hi]| for 1 <= lo <= hi <= N.
+func (s *Set) CountRange(lo, hi int) int {
+	if lo < 1 {
+		lo = 1
+	}
+	if hi > s.n {
+		hi = s.n
+	}
+	if lo > hi {
+		return 0
+	}
+	c := 0
+	for t := lo; t <= hi; {
+		w, b := t/64, uint(t%64)
+		word := s.words[w] >> b
+		span := 64 - int(b)
+		if rem := hi - t + 1; rem < span {
+			word &= (1 << uint(rem)) - 1
+			span = rem
+		}
+		c += bits.OnesCount64(word)
+		t += span
+	}
+	return c
+}
+
+// HashRange returns Σ_{t ∈ s ∩ [lo,hi]} 2^t mod q — the Rabin fingerprint of
+// the restriction of the set to [lo, hi], used by EQTest. q must be > 1.
+func (s *Set) HashRange(lo, hi int, q uint64) uint64 {
+	if lo < 1 {
+		lo = 1
+	}
+	if hi > s.n {
+		hi = s.n
+	}
+	var sum uint64
+	for wi := lo / 64; wi <= hi/64 && wi < len(s.words); wi++ {
+		w := s.words[wi]
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			w &= w - 1
+			t := wi*64 + b
+			if t < lo || t > hi {
+				continue
+			}
+			sum = (sum + powMod(2, uint64(t), q)) % q
+		}
+	}
+	return sum
+}
+
+// powMod computes b^e mod m without overflow for m < 2^32 via repeated
+// squaring, and for larger m via 128-bit multiplication.
+func powMod(b, e, m uint64) uint64 {
+	if m == 1 {
+		return 0
+	}
+	result := uint64(1)
+	b %= m
+	for e > 0 {
+		if e&1 == 1 {
+			result = mulMod(result, b, m)
+		}
+		b = mulMod(b, b, m)
+		e >>= 1
+	}
+	return result
+}
+
+// mulMod returns a*b mod m using 128-bit intermediate precision.
+func mulMod(a, b, m uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	_, rem := bits.Div64(hi%m, lo, m)
+	return rem
+}

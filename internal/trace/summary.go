@@ -1,0 +1,87 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// RoundStats aggregates the events of one round.
+type RoundStats struct {
+	Round       int
+	Proposals   int
+	Connections int
+	Bits        int64
+	Tokens      int64
+}
+
+// Summary aggregates a whole recorded execution.
+type Summary struct {
+	Rounds      []RoundStats // ascending by round; rounds with no events omitted
+	Proposals   int64
+	Connections int64
+	Bits        int64
+	Tokens      int64
+}
+
+// AcceptanceRate returns accepted connections per proposal (0 when no
+// proposals were recorded). In the mobile telephone model this is the
+// contention statistic: on high-degree graphs many proposals collide on
+// the same receiver, which is the mechanism behind the Ω(Δ²) lower bound
+// for blind strategies.
+func (s *Summary) AcceptanceRate() float64 {
+	if s.Proposals == 0 {
+		return 0
+	}
+	return float64(s.Connections) / float64(s.Proposals)
+}
+
+// ReadSummary parses a JSONL event stream (as produced by Recorder) and
+// aggregates it per round.
+func ReadSummary(r io.Reader) (*Summary, error) {
+	byRound := make(map[int]*RoundStats)
+	s := &Summary{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		rs := byRound[e.Round]
+		if rs == nil {
+			rs = &RoundStats{Round: e.Round}
+			byRound[e.Round] = rs
+		}
+		switch e.Kind {
+		case "propose":
+			rs.Proposals++
+			s.Proposals++
+		case "connect":
+			rs.Connections++
+			rs.Bits += int64(e.Bits)
+			rs.Tokens += int64(e.Tokens)
+			s.Connections++
+			s.Bits += int64(e.Bits)
+			s.Tokens += int64(e.Tokens)
+		default:
+			return nil, fmt.Errorf("trace: line %d: unknown event kind %q", line, e.Kind)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	s.Rounds = make([]RoundStats, 0, len(byRound))
+	for _, rs := range byRound {
+		s.Rounds = append(s.Rounds, *rs)
+	}
+	sort.Slice(s.Rounds, func(i, j int) bool { return s.Rounds[i].Round < s.Rounds[j].Round })
+	return s, nil
+}

@@ -1,0 +1,267 @@
+// Package mobilegossip is a library reproduction of Calvin Newport's
+// "Gossip in a Smartphone Peer-to-Peer Network" (PODC 2017): the mobile
+// telephone model of smartphone peer-to-peer networking and the paper's
+// gossip algorithms — BlindMatch (b = 0), SharedBit and SimSharedBit
+// (b = 1, dynamic topologies), CrowdedBin (b = 1, stable topologies), and
+// SharedBit's relaxed ε-gossip mode.
+//
+// The package-level Run function covers the common case — pick an
+// algorithm, a topology family, sizes and a seed, and get round/connection
+// counts back:
+//
+//	res, err := mobilegossip.Run(mobilegossip.Config{
+//	    Algorithm: mobilegossip.AlgSharedBit,
+//	    N:         128,
+//	    K:         16,
+//	    Topology:  mobilegossip.Topology{Kind: mobilegossip.RandomRegular, Degree: 4},
+//	    Seed:      1,
+//	})
+//
+// The internal packages expose the full machinery (engine, graph
+// generators, dynamic schedules, Transfer(ε), leader election, PPUSH) for
+// programs within this module; see DESIGN.md for the map.
+package mobilegossip
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"mobilegossip/internal/core"
+	"mobilegossip/internal/mtm"
+	"mobilegossip/internal/prand"
+	"mobilegossip/internal/trace"
+)
+
+// Algorithm selects one of the paper's gossip algorithms.
+type Algorithm int
+
+// The gossip algorithms of the paper (Figure 1).
+const (
+	// AlgBlindMatch: b = 0, τ ≥ 1 — O((1/α)·k·Δ²·log²n) (§4).
+	AlgBlindMatch Algorithm = iota + 1
+	// AlgSharedBit: b = 1, τ ≥ 1, shared randomness — O(kn) (§5.1).
+	AlgSharedBit
+	// AlgSimSharedBit: b = 1, τ ≥ 1 — O(kn + (1/α)·Δ^{1/τ}·log⁶n) (§5.2).
+	AlgSimSharedBit
+	// AlgCrowdedBin: b = 1, τ = ∞ — O((1/α)·k·log⁶n) (§6).
+	AlgCrowdedBin
+)
+
+var algNames = map[Algorithm]string{
+	AlgBlindMatch: "blindmatch", AlgSharedBit: "sharedbit",
+	AlgSimSharedBit: "simsharedbit", AlgCrowdedBin: "crowdedbin",
+}
+
+// String returns the algorithm's name.
+func (a Algorithm) String() string {
+	if s, ok := algNames[a]; ok {
+		return s
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// ParseAlgorithm resolves an algorithm name (as printed by String).
+func ParseAlgorithm(s string) (Algorithm, error) {
+	for a, name := range algNames {
+		if name == s {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("mobilegossip: unknown algorithm %q", s)
+}
+
+// Config parameterizes one gossip run.
+type Config struct {
+	// Algorithm selects the protocol.
+	Algorithm Algorithm
+	// N is the network size (> 1).
+	N int
+	// K is the token count, 1 ≤ K ≤ N; tokens are placed one per node on
+	// the first K nodes (the paper's canonical setup). Use Assignment for
+	// custom placements.
+	K int
+	// Assignment overrides the canonical placement when non-empty.
+	Assignment *core.Assignment
+	// Topology picks the topology family.
+	Topology Topology
+	// Tau is the stability factor: 0 means τ = ∞ (static); τ ≥ 1 redraws
+	// the topology every τ rounds. AlgCrowdedBin requires a static
+	// topology.
+	Tau int
+	// Epsilon, when in (0, 1), relaxes the objective to ε-gossip and
+	// requires K = N. Supported by AlgSharedBit (§7, Theorem 7.4) and
+	// AlgSimSharedBit (Corollary 7.5).
+	Epsilon float64
+	// TagBits, when ≥ 2 with AlgSharedBit, runs the b-bit generalization
+	// of the advertisement (see core.MultiBit): different token sets then
+	// yield different tags with probability 1 − 2^{−b} instead of 1/2.
+	// 0 and 1 select the paper's standard 1-bit algorithm.
+	TagBits int
+	// Seed determines the entire execution (0 is a valid seed).
+	Seed uint64
+	// MaxRounds aborts unfinished runs (default 2^22).
+	MaxRounds int
+	// Concurrent selects the goroutine-per-connection engine backend.
+	Concurrent bool
+	// TransferEps is the per-call Transfer(ε) failure bound
+	// (default n^{-3}).
+	TransferEps float64
+	// CrowdedBin tunes the §6 schedule constants.
+	CrowdedBin core.CrowdedBinConfig
+	// OnRound, if set, receives (round, φ) after every round.
+	OnRound func(round, potential int)
+	// TraceWriter, if set, receives one JSON line per proposal and per
+	// accepted connection (see internal/trace for the event schema).
+	TraceWriter io.Writer
+}
+
+// Result reports a finished (or aborted) run.
+type Result struct {
+	// Algorithm and topology echo the configuration.
+	Algorithm Algorithm
+	Topology  string
+	// Solved reports whether the objective (gossip or ε-gossip) was reached.
+	Solved bool
+	// Rounds is the number of rounds executed.
+	Rounds int
+	// Connections, Proposals, ControlBits, TokensMoved are totals over the
+	// run as metered by the engine.
+	Connections int64
+	Proposals   int64
+	ControlBits int64
+	TokensMoved int64
+	// FinalPotential is φ at the end (0 when fully solved).
+	FinalPotential int
+}
+
+// Errors returned by Run for invalid configurations.
+var (
+	ErrBadN            = errors.New("mobilegossip: N must be at least 2")
+	ErrBadK            = errors.New("mobilegossip: K must be in [1, N]")
+	ErrEpsilonRequires = errors.New("mobilegossip: Epsilon requires AlgSharedBit or AlgSimSharedBit, and K = N")
+	ErrCrowdedBinTau   = errors.New("mobilegossip: AlgCrowdedBin requires a static topology (Tau = 0)")
+	ErrTagBitsRequires = errors.New("mobilegossip: TagBits >= 2 requires AlgSharedBit")
+)
+
+// Run executes one gossip simulation described by cfg.
+func Run(cfg Config) (Result, error) {
+	var res Result
+	if cfg.N < 2 {
+		return res, ErrBadN
+	}
+	if cfg.Assignment == nil && (cfg.K < 1 || cfg.K > cfg.N) {
+		return res, ErrBadK
+	}
+	if cfg.Epsilon != 0 {
+		if cfg.Epsilon <= 0 || cfg.Epsilon >= 1 {
+			return res, fmt.Errorf("mobilegossip: Epsilon %v outside (0,1)", cfg.Epsilon)
+		}
+		epsAlg := cfg.Algorithm == AlgSharedBit || cfg.Algorithm == AlgSimSharedBit
+		if !epsAlg || (cfg.Assignment == nil && cfg.K != cfg.N) {
+			return res, ErrEpsilonRequires
+		}
+	}
+	if cfg.TagBits >= 2 && cfg.Algorithm != AlgSharedBit {
+		return res, ErrTagBitsRequires
+	}
+	if cfg.TagBits > 64 || cfg.TagBits < 0 {
+		return res, fmt.Errorf("mobilegossip: TagBits %d outside [0, 64]", cfg.TagBits)
+	}
+	if cfg.Algorithm == AlgCrowdedBin && cfg.Tau > 0 {
+		return res, ErrCrowdedBinTau
+	}
+	if cfg.Topology.Kind == 0 {
+		cfg.Topology.Kind = RandomRegular
+	}
+	transferEps := cfg.TransferEps
+	if transferEps <= 0 {
+		nf := float64(cfg.N)
+		transferEps = 1 / (nf * nf * nf)
+	}
+
+	assign := core.OneTokenPerNode(cfg.N, cfg.K)
+	if cfg.Assignment != nil {
+		assign = *cfg.Assignment
+	}
+	st, err := core.NewState(cfg.N, assign, transferEps)
+	if err != nil {
+		return res, err
+	}
+
+	dyn, err := cfg.Topology.Build(cfg.N, cfg.Tau, prand.Mix64(cfg.Seed^0x6c62272e07bb0142))
+	if err != nil {
+		return res, err
+	}
+
+	proto, err := buildProtocol(cfg, st)
+	if err != nil {
+		return res, err
+	}
+	var rec *trace.Recorder
+	if cfg.TraceWriter != nil {
+		rec = trace.NewRecorder(cfg.TraceWriter)
+		proto = trace.Wrap(proto, rec)
+	}
+
+	engCfg := mtm.Config{
+		Seed:       prand.Mix64(cfg.Seed ^ 0x51afd7ed558ccd6d),
+		MaxRounds:  cfg.MaxRounds,
+		Concurrent: cfg.Concurrent,
+	}
+	if cfg.OnRound != nil {
+		engCfg.OnRound = func(r int) { cfg.OnRound(r, st.Potential()) }
+	}
+	runRes, err := mtm.NewEngine(dyn, proto, engCfg).Run()
+	if err == nil && rec != nil {
+		err = rec.Err()
+	}
+	res = Result{
+		Algorithm:      cfg.Algorithm,
+		Topology:       dyn.Name(),
+		Solved:         runRes.Completed,
+		Rounds:         runRes.Rounds,
+		Connections:    runRes.Connections,
+		Proposals:      runRes.Proposals,
+		ControlBits:    runRes.ControlBits,
+		TokensMoved:    runRes.TokensMoved,
+		FinalPotential: st.Potential(),
+	}
+	return res, err
+}
+
+// buildProtocol assembles the configured algorithm over st.
+func buildProtocol(cfg Config, st *core.State) (mtm.Protocol, error) {
+	switch cfg.Algorithm {
+	case AlgBlindMatch:
+		return core.NewBlindMatch(st), nil
+	case AlgSharedBit:
+		shared := prand.NewSharedString(prand.Mix64(cfg.Seed ^ 0xb492b66fbe98f273))
+		var sb core.SetProtocol = core.NewSharedBit(st, shared)
+		if cfg.TagBits >= 2 {
+			mb, err := core.NewMultiBit(st, shared, cfg.TagBits)
+			if err != nil {
+				return nil, err
+			}
+			sb = mb
+		}
+		if cfg.Epsilon != 0 {
+			return core.NewEpsilonOver(sb, cfg.Epsilon, 1), nil
+		}
+		return sb, nil
+	case AlgSimSharedBit:
+		space := prand.NewSeedSpace(st.Universe())
+		seeds := core.SampleSeeds(space, st.N(),
+			prand.New(prand.Mix64(cfg.Seed^0x2545f4914f6cdd1d)))
+		ssb := core.NewSimSharedBit(st, space, seeds)
+		if cfg.Epsilon != 0 {
+			return core.NewEpsilonOver(ssb, cfg.Epsilon, 1), nil
+		}
+		return ssb, nil
+	case AlgCrowdedBin:
+		return core.NewCrowdedBin(st, cfg.CrowdedBin,
+			prand.New(prand.Mix64(cfg.Seed^0x9fb21c651e98df25)))
+	default:
+		return nil, fmt.Errorf("mobilegossip: unknown algorithm %v", cfg.Algorithm)
+	}
+}

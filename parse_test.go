@@ -1,0 +1,71 @@
+package mobilegossip
+
+import "testing"
+
+func TestParseAlgorithmRoundTrip(t *testing.T) {
+	for _, a := range []Algorithm{AlgBlindMatch, AlgSharedBit, AlgSimSharedBit, AlgCrowdedBin} {
+		got, err := ParseAlgorithm(a.String())
+		if err != nil {
+			t.Errorf("%v: %v", a, err)
+			continue
+		}
+		if got != a {
+			t.Errorf("round trip %v -> %q -> %v", a, a.String(), got)
+		}
+	}
+}
+
+func TestParseAlgorithmUnknown(t *testing.T) {
+	if _, err := ParseAlgorithm("push-pull"); err == nil {
+		t.Error("unknown algorithm name should fail")
+	}
+	if s := Algorithm(42).String(); s != "Algorithm(42)" {
+		t.Errorf("unknown algorithm String() = %q", s)
+	}
+}
+
+func TestParseTopologyKindRoundTrip(t *testing.T) {
+	kinds := []TopologyKind{
+		Cycle, Path, Complete, Star, DoubleStar,
+		Grid, Hypercube, GNP, RandomRegular, Barbell,
+	}
+	for _, k := range kinds {
+		got, err := ParseTopologyKind(k.String())
+		if err != nil {
+			t.Errorf("%v: %v", k, err)
+			continue
+		}
+		if got != k {
+			t.Errorf("round trip %v -> %q -> %v", k, k.String(), got)
+		}
+	}
+}
+
+func TestParseTopologyKindUnknown(t *testing.T) {
+	if _, err := ParseTopologyKind("smallworld"); err == nil {
+		t.Error("unknown topology name should fail")
+	}
+	if s := TopologyKind(42).String(); s != "TopologyKind(42)" {
+		t.Errorf("unknown kind String() = %q", s)
+	}
+}
+
+// TestEveryTopologyKindInspectable: each named family must build and be
+// measurable at some valid size (hypercube needs a power of two; the rest
+// take 16).
+func TestEveryTopologyKindInspectable(t *testing.T) {
+	kinds := []TopologyKind{
+		Cycle, Path, Complete, Star, DoubleStar,
+		Grid, Hypercube, GNP, RandomRegular, Barbell,
+	}
+	for _, k := range kinds {
+		info, err := (Topology{Kind: k}).Inspect(16, 1)
+		if err != nil {
+			t.Errorf("%v: %v", k, err)
+			continue
+		}
+		if info.N != 16 || info.MaxDegree < 1 || info.Diameter < 1 || info.Alpha <= 0 {
+			t.Errorf("%v: implausible info %+v", k, info)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package mobilegossip
+
+import (
+	"fmt"
+	"math"
+
+	"mobilegossip/internal/dyngraph"
+	"mobilegossip/internal/graph"
+	"mobilegossip/internal/prand"
+)
+
+// TopologyKind enumerates the built-in topology families.
+type TopologyKind int
+
+// Topology families. Each corresponds to a generator in internal/graph;
+// DoubleStar is the paper's Ω(Δ²) lower-bound construction, RandomRegular
+// its "well-connected" (constant-α) regime, Cycle its worst-α regime.
+const (
+	Cycle TopologyKind = iota + 1
+	Path
+	Complete
+	Star
+	DoubleStar
+	Grid
+	Hypercube
+	GNP
+	RandomRegular
+	Barbell
+)
+
+var kindNames = map[TopologyKind]string{
+	Cycle: "cycle", Path: "path", Complete: "complete", Star: "star",
+	DoubleStar: "doublestar", Grid: "grid", Hypercube: "hypercube",
+	GNP: "gnp", RandomRegular: "regular", Barbell: "barbell",
+}
+
+// String returns the family name.
+func (k TopologyKind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("TopologyKind(%d)", int(k))
+}
+
+// ParseTopologyKind resolves a family name (as printed by String).
+func ParseTopologyKind(s string) (TopologyKind, error) {
+	for k, name := range kindNames {
+		if name == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("mobilegossip: unknown topology %q", s)
+}
+
+// Topology specifies a topology family plus its family-specific knobs.
+type Topology struct {
+	Kind TopologyKind
+	// Degree parameterizes RandomRegular (default 4).
+	Degree int
+	// P parameterizes GNP (default 2·ln(n)/n at build time if zero).
+	P float64
+	// Rows/Cols parameterize Grid (defaults make it near-square).
+	Rows, Cols int
+	// CliqueSize and PathLen parameterize Barbell.
+	CliqueSize, PathLen int
+}
+
+// buildStatic instantiates the topology on n vertices.
+func (t Topology) buildStatic(n int, rng *prand.RNG) (*graph.Graph, error) {
+	switch t.Kind {
+	case Cycle:
+		return graph.Cycle(n), nil
+	case Path:
+		return graph.Path(n), nil
+	case Complete:
+		return graph.Complete(n), nil
+	case Star:
+		return graph.Star(n), nil
+	case DoubleStar:
+		return graph.DoubleStar(n), nil
+	case Grid:
+		rows, cols := t.Rows, t.Cols
+		if rows <= 0 || cols <= 0 {
+			// Most-square factorization: the largest divisor ≤ √n.
+			rows = 1
+			for r := 2; r*r <= n; r++ {
+				if n%r == 0 {
+					rows = r
+				}
+			}
+			cols = n / rows
+		}
+		if rows*cols != n {
+			return nil, fmt.Errorf("mobilegossip: grid %dx%d does not cover n=%d", rows, cols, n)
+		}
+		return graph.Grid(rows, cols), nil
+	case Hypercube:
+		d := 0
+		for 1<<uint(d) < n {
+			d++
+		}
+		if 1<<uint(d) != n {
+			return nil, fmt.Errorf("mobilegossip: hypercube needs n to be a power of two, got %d", n)
+		}
+		return graph.Hypercube(d), nil
+	case GNP:
+		p := t.P
+		if p <= 0 {
+			p = gnpDefaultP(n)
+		}
+		return graph.GNP(n, p, rng), nil
+	case RandomRegular:
+		d := t.Degree
+		if d <= 0 {
+			d = 4
+		}
+		return graph.RandomRegular(n, d, rng), nil
+	case Barbell:
+		m := t.CliqueSize
+		pl := t.PathLen
+		if m <= 0 {
+			m = n / 2
+		}
+		if pl <= 0 {
+			pl = n - 2*m + 1
+		}
+		g := graph.Barbell(m, pl)
+		if g.N() != n {
+			return nil, fmt.Errorf("mobilegossip: barbell(%d,%d) has %d vertices, want %d", m, pl, g.N(), n)
+		}
+		return g, nil
+	default:
+		return nil, fmt.Errorf("mobilegossip: unknown topology kind %v", t.Kind)
+	}
+}
+
+func gnpDefaultP(n int) float64 {
+	if n < 2 {
+		return 1
+	}
+	// 2·ln(n)/n: comfortably above the connectivity threshold.
+	p := 2 * math.Log(float64(n)) / float64(n)
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// Build instantiates the dynamic schedule: tau <= 0 (or Static) yields a
+// never-changing topology; tau >= 1 redraws the same family (over freshly
+// permuted labels where the family is deterministic) every tau rounds —
+// the harshest oblivious adversary the stability factor permits.
+func (t Topology) Build(n, tau int, seed uint64) (dyngraph.Dynamic, error) {
+	rng := prand.New(prand.Mix64(seed ^ 0xa24baed4963ee407))
+	if tau <= 0 {
+		g, err := t.buildStatic(n, rng)
+		if err != nil {
+			return nil, err
+		}
+		if !g.Connected() {
+			return nil, fmt.Errorf("mobilegossip: %s on n=%d is disconnected", t.Kind, n)
+		}
+		return dyngraph.NewStatic(g), nil
+	}
+	// Validate the family once so Build fails fast.
+	if _, err := t.buildStatic(n, rng); err != nil {
+		return nil, err
+	}
+	spec := t // copy for the closure
+	gen := func(_ int, erng *prand.RNG) *graph.Graph {
+		g, err := spec.buildStatic(n, erng)
+		if err != nil {
+			// Cannot happen: validated above with identical inputs except
+			// the RNG, and no generator fails RNG-dependently.
+			panic(err)
+		}
+		return relabel(g, erng)
+	}
+	return dyngraph.NewRegen(n, tau, seed, t.Kind.String(), gen), nil
+}
+
+// relabel permutes vertex labels so deterministic families still churn.
+func relabel(g *graph.Graph, rng *prand.RNG) *graph.Graph {
+	n := g.N()
+	perm := rng.Perm(n)
+	b := graph.NewBuilder(n)
+	for _, e := range g.Edges() {
+		_ = b.AddEdge(perm[e[0]], perm[e[1]])
+	}
+	return b.Build(g.Name() + "+perm")
+}
