@@ -1,0 +1,35 @@
+# Targets mirror .github/workflows/ci.yml step for step, so a green local
+# `make ci` means a green CI run and the two can't drift.
+
+GO ?= go
+
+.PHONY: all build vet fmt test race bench ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# fmt fails (like CI) if any file needs reformatting, and prints the list.
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./...
+
+# bench is the CI smoke configuration: compile and run every benchmark
+# exactly once so regressions in the hot gossip loops surface per-PR
+# without benchmark-grade runtimes.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+ci: build vet fmt race test bench

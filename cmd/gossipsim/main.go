@@ -1,5 +1,5 @@
-// Command gossipsim runs one gossip simulation in the mobile telephone
-// model and prints the outcome.
+// Command gossipsim runs gossip simulations in the mobile telephone model
+// and prints the outcome.
 //
 // Usage:
 //
@@ -8,14 +8,24 @@
 //	gossipsim -alg sharedbit -graph regular -n 128 -k 128 -epsilon 0.75
 //	gossipsim -alg simsharedbit -graph doublestar -n 64 -k 4 -tau 1
 //
+// Comma lists in -n and -k, or -trials > 1, switch to the parallel sweep
+// path: the n×k cross-product grid runs -trials times per point on the
+// worker pool (see mobilegossip.RunSweep), printing one aggregate row per
+// point — or, with -json, one BENCH-shaped JSON document:
+//
+//	gossipsim -alg sharedbit -n 64,128,256 -k 8 -tau 1 -trials 5
+//	gossipsim -alg sharedbit -n 64 -k 4,8,16 -trials 7 -parallel 4 -json
+//
 // The -trace flag prints the potential φ(r) every -trace rounds, which
-// makes the progress dynamics of each algorithm visible.
+// makes the progress dynamics of each algorithm visible (single runs only).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"text/tabwriter"
 	"time"
 
@@ -34,18 +44,21 @@ func run(args []string) error {
 	var (
 		algName   = fs.String("alg", "sharedbit", "algorithm: blindmatch|sharedbit|simsharedbit|crowdedbin")
 		graphName = fs.String("graph", "regular", "topology: cycle|path|complete|star|doublestar|grid|hypercube|gnp|regular|barbell")
-		n         = fs.Int("n", 64, "network size")
-		k         = fs.Int("k", 8, "token count (1..n)")
+		nList     = fs.String("n", "64", "network size, or comma list for a sweep")
+		kList     = fs.String("k", "8", "token count (1..n), or comma list for a sweep")
 		tau       = fs.Int("tau", 0, "stability factor; 0 = static (τ=∞), t>=1 redraws topology every t rounds")
 		degree    = fs.Int("degree", 4, "degree for -graph regular")
 		p         = fs.Float64("p", 0, "edge probability for -graph gnp (0 = default 2·ln(n)/n)")
 		epsilon   = fs.Float64("epsilon", 0, "ε-gossip fraction in (0,1); requires -alg sharedbit and -k = -n")
-		seed      = fs.Uint64("seed", 1, "run seed (fully determines the execution)")
+		seed      = fs.Uint64("seed", 1, "run seed (fully determines the execution, sweep or single)")
 		maxRounds = fs.Int("maxrounds", 0, "abort after this many rounds (0 = engine default)")
-		trace     = fs.Int("trace", 0, "print φ(r) every this many rounds (0 = off)")
-		conc      = fs.Bool("concurrent", false, "use the goroutine-per-connection backend")
+		trace     = fs.Int("trace", 0, "print φ(r) every this many rounds (0 = off, single runs only)")
+		conc      = fs.Bool("concurrent", false, "use the goroutine-per-connection engine backend")
 		tagBits   = fs.Int("b", 0, "tag length for -alg sharedbit (>=2 runs the multi-bit generalization)")
-		traceFile = fs.String("tracefile", "", "write per-proposal/per-connection JSONL events to this file")
+		traceFile = fs.String("tracefile", "", "write per-proposal/per-connection JSONL events to this file (single runs only)")
+		trials    = fs.Int("trials", 1, "repetitions per sweep point (>1 switches to the sweep path)")
+		parallel  = fs.Int("parallel", 0, "sweep worker pool size; 0 = GOMAXPROCS (results identical at any value)")
+		asJSON    = fs.Bool("json", false, "emit the sweep as a BENCH-shaped JSON document")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -59,29 +72,95 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-
-	cfg := mobilegossip.Config{
-		Algorithm:  alg,
-		N:          *n,
-		K:          *k,
-		Topology:   mobilegossip.Topology{Kind: kind, Degree: *degree, P: *p},
-		Tau:        *tau,
-		Epsilon:    *epsilon,
-		TagBits:    *tagBits,
-		Seed:       *seed,
-		MaxRounds:  *maxRounds,
-		Concurrent: *conc,
+	ns, err := parseIntList("n", *nList)
+	if err != nil {
+		return err
 	}
-	if *traceFile != "" {
-		f, err := os.Create(*traceFile)
+	ks, err := parseIntList("k", *kList)
+	if err != nil {
+		return err
+	}
+
+	mkConfig := func(n, k int) mobilegossip.Config {
+		return mobilegossip.Config{
+			Algorithm:  alg,
+			N:          n,
+			K:          k,
+			Topology:   mobilegossip.Topology{Kind: kind, Degree: *degree, P: *p},
+			Tau:        *tau,
+			Epsilon:    *epsilon,
+			TagBits:    *tagBits,
+			MaxRounds:  *maxRounds,
+			Concurrent: *conc,
+		}
+	}
+
+	if len(ns) > 1 || len(ks) > 1 || *trials > 1 || *asJSON {
+		if *trace > 0 || *traceFile != "" {
+			return fmt.Errorf("-trace and -tracefile apply to single runs only, not sweeps")
+		}
+		var points []mobilegossip.Config
+		for _, n := range ns {
+			for _, k := range ks {
+				points = append(points, mkConfig(n, k))
+			}
+		}
+		return runSweep(points, *trials, *seed, *parallel, *asJSON)
+	}
+	return runSingle(mkConfig(ns[0], ks[0]), *seed, *trace, *traceFile, *epsilon, *tau)
+}
+
+// runSweep executes the n×k grid on the worker pool and prints one
+// aggregate row per point (or the JSON document).
+func runSweep(points []mobilegossip.Config, trials int, seed uint64, parallel int, asJSON bool) error {
+	if trials < 1 {
+		trials = 1 // mirror RunSweep's default so the summary line counts right
+	}
+	sr, err := mobilegossip.RunSweep(mobilegossip.SweepConfig{
+		Points:  points,
+		Trials:  trials,
+		Seed:    seed,
+		Workers: parallel,
+	})
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		return sr.WriteJSON(os.Stdout)
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "algorithm\ttopology\tn\tk\ttrials\tsolved\trounds mean\t[min,max]\tconns mean")
+	for _, pt := range sr.Points {
+		topo := pt.Config.Topology.Kind.String()
+		if len(pt.Runs) > 0 {
+			topo = pt.Runs[0].Topology
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%d\t%.1f\t[%d,%d]\t%.0f\n",
+			pt.Config.Algorithm, topo, pt.Config.N, pt.Config.K,
+			len(pt.Runs), pt.Solved, pt.MeanRounds, pt.MinRounds, pt.MaxRounds,
+			pt.MeanConnections)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("%d runs on %d workers in %v\n",
+		len(sr.Points)*trials, sr.Workers, sr.Elapsed.Round(time.Millisecond))
+	return nil
+}
+
+// runSingle is the classic one-execution path with tracing support.
+func runSingle(cfg mobilegossip.Config, seed uint64, trace int, traceFile string, epsilon float64, tau int) error {
+	cfg.Seed = seed
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
 		cfg.TraceWriter = f
 	}
-	if *trace > 0 {
-		every := *trace
+	if trace > 0 {
+		every := trace
 		cfg.OnRound = func(r, phi int) {
 			if r%every == 0 {
 				fmt.Printf("round %8d  φ=%d\n", r, phi)
@@ -98,10 +177,10 @@ func run(args []string) error {
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "algorithm\t%s\n", res.Algorithm)
-	fmt.Fprintf(tw, "topology\t%s (n=%d, τ=%s)\n", res.Topology, *n, tauString(*tau))
-	fmt.Fprintf(tw, "tokens\t%d\n", *k)
-	if *epsilon > 0 {
-		fmt.Fprintf(tw, "objective\tε-gossip (ε=%.2f)\n", *epsilon)
+	fmt.Fprintf(tw, "topology\t%s (n=%d, τ=%s)\n", res.Topology, cfg.N, tauString(tau))
+	fmt.Fprintf(tw, "tokens\t%d\n", cfg.K)
+	if epsilon > 0 {
+		fmt.Fprintf(tw, "objective\tε-gossip (ε=%.2f)\n", epsilon)
 	} else {
 		fmt.Fprintf(tw, "objective\tgossip (all nodes learn all tokens)\n")
 	}
@@ -114,6 +193,19 @@ func run(args []string) error {
 	fmt.Fprintf(tw, "final φ\t%d\n", res.FinalPotential)
 	fmt.Fprintf(tw, "wall time\t%v\n", elapsed.Round(time.Millisecond))
 	return tw.Flush()
+}
+
+// parseIntList parses "64" or "64,128,256" into positive ints.
+func parseIntList(name, s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("-%s: %q is not a positive integer list", name, s)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 func tauString(tau int) string {

@@ -1,0 +1,3 @@
+module mobilegossip
+
+go 1.24

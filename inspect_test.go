@@ -72,6 +72,9 @@ func TestInspectPropagatesBuildErrors(t *testing.T) {
 }
 
 func TestInspectDynamicWorstCaseOverEpochs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-epoch expansion estimation skipped in -short mode")
+	}
 	// The dynamic α is the minimum over epochs, so it can only be ≤ the
 	// first epoch's α; Δ is the maximum, so ≥ the first epoch's Δ.
 	stat, err := Topology{Kind: RandomRegular, Degree: 4}.Inspect(32, 5)

@@ -32,16 +32,21 @@ func runE20(o Options) (*Table, error) {
 	}
 	type pt struct{ beta, gamma int }
 	pts := []pt{{2, 2}, {2, 4}, {4, 2}, {4, 4}, {3, 9}}
-	var base, largest float64
+	cfgs := make([]mobilegossip.Config, len(pts))
 	for i, p := range pts {
-		r, err := meanRounds(o, mobilegossip.Config{
+		cfgs[i] = mobilegossip.Config{
 			Algorithm: mobilegossip.AlgCrowdedBin, N: n, K: k,
 			Topology:   mobilegossip.Topology{Kind: mobilegossip.RandomRegular, Degree: 4},
 			CrowdedBin: core.CrowdedBinConfig{Beta: p.beta, Gamma: p.gamma},
-		})
-		if err != nil {
-			return nil, err
 		}
+	}
+	means, err := meanRoundsGrid(o, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	var base, largest float64
+	for i, p := range pts {
+		r := means[i]
 		t.Rows = append(t.Rows, []string{
 			fmtF(float64(p.beta)), fmtF(float64(p.gamma)), fmtF(r), "yes",
 		})

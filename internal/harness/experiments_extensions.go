@@ -15,6 +15,7 @@ import (
 	"mobilegossip/internal/dyngraph"
 	"mobilegossip/internal/mtm"
 	"mobilegossip/internal/prand"
+	"mobilegossip/internal/runner"
 	"mobilegossip/internal/stats"
 )
 
@@ -42,25 +43,27 @@ func runE15(o Options) (*Table, error) {
 		Columns: []string{"b", "algorithm", "rounds"},
 	}
 	topo := mobilegossip.Topology{Kind: mobilegossip.RandomRegular, Degree: 4}
-
-	r0, err := meanRounds(o, mobilegossip.Config{
+	bs := []int{1, 2, 4, 8}
+	cfgs := []mobilegossip.Config{{
 		Algorithm: mobilegossip.AlgBlindMatch, N: n, K: k, Topology: topo, Tau: 1,
-	})
+	}}
+	for _, b := range bs {
+		cfgs = append(cfgs, mobilegossip.Config{
+			Algorithm: mobilegossip.AlgSharedBit, N: n, K: k, Topology: topo, Tau: 1,
+			TagBits: b,
+		})
+	}
+	means, err := meanRoundsGrid(o, cfgs)
 	if err != nil {
 		return nil, err
 	}
+	r0 := means[0]
 	t.Rows = append(t.Rows, []string{"0", "blindmatch", fmtF(r0)})
 
 	var r1 float64
 	var rLast float64
-	for _, b := range []int{1, 2, 4, 8} {
-		r, err := meanRounds(o, mobilegossip.Config{
-			Algorithm: mobilegossip.AlgSharedBit, N: n, K: k, Topology: topo, Tau: 1,
-			TagBits: b,
-		})
-		if err != nil {
-			return nil, err
-		}
+	for i, b := range bs {
+		r := means[1+i]
 		name := "sharedbit"
 		if b > 1 {
 			name = fmt.Sprintf("multibit(b=%d)", b)
@@ -94,15 +97,20 @@ func runE16(o Options) (*Table, error) {
 			"SimSharedBit on the rotating double-star (n=%d, k=%d): rounds vs stability τ", n, k),
 		Columns: []string{"τ", "Δ^{1/τ}", "rounds"},
 	}
-	var first, last float64
+	cfgs := make([]mobilegossip.Config, len(taus))
 	for i, tau := range taus {
-		r, err := meanRounds(o, mobilegossip.Config{
+		cfgs[i] = mobilegossip.Config{
 			Algorithm: mobilegossip.AlgSimSharedBit, N: n, K: k,
 			Topology: mobilegossip.Topology{Kind: mobilegossip.DoubleStar}, Tau: tau,
-		})
-		if err != nil {
-			return nil, err
 		}
+	}
+	means, err := meanRoundsGrid(o, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	var first, last float64
+	for i, tau := range taus {
+		r := means[i]
 		delta := float64(n / 2)
 		t.Rows = append(t.Rows, []string{
 			fmtF(float64(tau)), fmtF(math.Pow(delta, 1/float64(tau))), fmtF(r),
@@ -136,8 +144,17 @@ func runE17(o Options) (*Table, error) {
 			"Engine backends on SharedBit (n=%d, k=%d, τ=1 rotating 4-regular)", n, k),
 		Columns: []string{"seed", "rounds (seq)", "rounds (conc)", "identical", "seq ms", "conc ms"},
 	}
-	for i := 0; i < trials(o); i++ {
-		seed := o.Seed + uint64(31*i)
+	type backendRow struct {
+		seed          uint64
+		seq, conc     mobilegossip.Result
+		seqMS, concMS time.Duration
+	}
+	// The whole point of E17 is the seq-vs-conc wall-clock comparison, so
+	// the timed pairs must not contend with each other: force one worker.
+	rcfg := runnerCfg(o)
+	rcfg.Workers = 1
+	rows, err := runner.Map(rcfg, trials(o), func(j runner.Job) (backendRow, error) {
+		seed := o.Seed + uint64(31*j.Index)
 		base := mobilegossip.Config{
 			Algorithm: mobilegossip.AlgSharedBit, N: n, K: k,
 			Topology: mobilegossip.Topology{Kind: mobilegossip.RandomRegular, Degree: 4},
@@ -149,14 +166,14 @@ func runE17(o Options) (*Table, error) {
 		t0 := time.Now()
 		seq, err := mobilegossip.Run(seqCfg)
 		if err != nil {
-			return nil, err
+			return backendRow{}, err
 		}
 		seqMS := time.Since(t0)
 
 		t1 := time.Now()
 		conc, err := mobilegossip.Run(concCfg)
 		if err != nil {
-			return nil, err
+			return backendRow{}, err
 		}
 		concMS := time.Since(t1)
 
@@ -164,12 +181,18 @@ func runE17(o Options) (*Table, error) {
 			seq.Connections == conc.Connections &&
 			seq.TokensMoved == conc.TokensMoved
 		if !identical {
-			return nil, fmt.Errorf("harness: backends diverged at seed %d: %+v vs %+v", seed, seq, conc)
+			return backendRow{}, fmt.Errorf("harness: backends diverged at seed %d: %+v vs %+v", seed, seq, conc)
 		}
+		return backendRow{seed, seq, conc, seqMS, concMS}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
 		t.Rows = append(t.Rows, []string{
-			fmtF(float64(seed)), fmtF(float64(seq.Rounds)), fmtF(float64(conc.Rounds)),
+			fmtF(float64(r.seed)), fmtF(float64(r.seq.Rounds)), fmtF(float64(r.conc.Rounds)),
 			"yes",
-			fmtF(float64(seqMS.Milliseconds())), fmtF(float64(concMS.Milliseconds())),
+			fmtF(float64(r.seqMS.Milliseconds())), fmtF(float64(r.concMS.Milliseconds())),
 		})
 	}
 	t.Notes = append(t.Notes,
@@ -192,30 +215,35 @@ func runE18(o Options) (*Table, error) {
 			"SharedBit under gradual churn (n=%d, k=%d, ring backbone + n chords, τ=1): rounds vs rewire fraction", n, k),
 		Columns: []string{"rewire", "rounds"},
 	}
-	var lo, hi float64
-	for _, rw := range []float64{0, 0.1, 0.5, 1.0} {
-		var xs []float64
-		for tr := 0; tr < trials(o); tr++ {
+	rewires := []float64{0, 0.1, 0.5, 1.0}
+	grid, err := runner.MapGrid(runnerCfg(o), len(rewires), trials(o),
+		func(p, tr int, _ uint64) (float64, error) {
+			rw := rewires[p]
 			seed := o.Seed + uint64(7000*tr) + 3
 			dyn, err := dyngraph.GradualChurn(n, 1, 4096, rw, seed)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			st, err := core.NewState(n, core.OneTokenPerNode(n, k), 1e-9)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			proto := core.NewSharedBit(st, prand.NewSharedString(prand.Mix64(seed^0x94d0_49bb_1331_11eb)))
 			res, err := mtm.NewEngine(dyn, proto, mtm.Config{Seed: prand.Mix64(seed)}).Run()
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			if !res.Completed {
-				return nil, fmt.Errorf("harness: E18 unsolved at rewire=%.2f", rw)
+				return 0, fmt.Errorf("harness: E18 unsolved at rewire=%.2f", rw)
 			}
-			xs = append(xs, float64(res.Rounds))
-		}
-		m := stats.Summarize(xs).Mean
+			return float64(res.Rounds), nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	var lo, hi float64
+	for p, rw := range rewires {
+		m := stats.Summarize(grid[p]).Mean
 		t.Rows = append(t.Rows, []string{fmt.Sprintf("%.2f", rw), fmtF(m)})
 		if lo == 0 || m < lo {
 			lo = m

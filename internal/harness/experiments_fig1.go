@@ -26,24 +26,6 @@ func trials(o Options) int {
 	return 7
 }
 
-// meanRounds runs cfg over several seeds and returns the mean round count.
-func meanRounds(o Options, cfg mobilegossip.Config) (float64, error) {
-	var xs []float64
-	for t := 0; t < trials(o); t++ {
-		cfg.Seed = o.Seed + uint64(1000*t) + 17
-		res, err := mobilegossip.Run(cfg)
-		if err != nil {
-			return 0, err
-		}
-		if !res.Solved {
-			return 0, fmt.Errorf("harness: %v on %s unsolved after %d rounds",
-				cfg.Algorithm, res.Topology, res.Rounds)
-		}
-		xs = append(xs, float64(res.Rounds))
-	}
-	return stats.Summarize(xs).Mean, nil
-}
-
 // runE1: BlindMatch on the two-star graph should blow up ≈ Δ² ≈ (n/2)²
 // (super-linear exponent in n), while on the ring it is linear in k.
 func runE1(o Options) (*Table, error) {
@@ -51,23 +33,37 @@ func runE1(o Options) (*Table, error) {
 	if o.Quick {
 		ns = []int{16, 32, 64}
 	}
+	ks := []int{1, 2, 4, 8}
 	t := &Table{
 		ID:      "E1",
 		Caption: "BlindMatch (b=0): rounds vs n on double-star (k=1), vs k on ring (n=32)",
 		Columns: []string{"sweep", "x", "rounds"},
 	}
-	var xs, ys []float64
+	// One grid covers both sweeps: the double-star n-points followed by the
+	// ring k-points, all (point × trial) cells in flight together.
+	var cfgs []mobilegossip.Config
 	for _, n := range ns {
-		r, err := meanRounds(o, mobilegossip.Config{
+		cfgs = append(cfgs, mobilegossip.Config{
 			Algorithm: mobilegossip.AlgBlindMatch, N: n, K: 1,
 			Topology: mobilegossip.Topology{Kind: mobilegossip.DoubleStar},
 		})
-		if err != nil {
-			return nil, err
-		}
-		t.Rows = append(t.Rows, []string{"double-star n", fmtF(float64(n)), fmtF(r)})
+	}
+	for _, k := range ks {
+		cfgs = append(cfgs, mobilegossip.Config{
+			Algorithm: mobilegossip.AlgBlindMatch, N: 32, K: k,
+			Topology: mobilegossip.Topology{Kind: mobilegossip.Cycle},
+		})
+	}
+	means, err := meanRoundsGrid(o, cfgs)
+	if err != nil {
+		return nil, err
+	}
+
+	var xs, ys []float64
+	for i, n := range ns {
+		t.Rows = append(t.Rows, []string{"double-star n", fmtF(float64(n)), fmtF(means[i])})
 		xs = append(xs, float64(n))
-		ys = append(ys, r)
+		ys = append(ys, means[i])
 	}
 	slope, err := stats.LogLogSlope(xs, ys)
 	if err != nil {
@@ -77,16 +73,9 @@ func runE1(o Options) (*Table, error) {
 		"double-star exponent in n: measured %.2f (paper: Δ² ≈ (n/2)² term ⇒ expect ≈ 2, "+
 			"and ≥ lower-bound shape Ω(Δ²/√α))", slope))
 
-	ks := []int{1, 2, 4, 8}
 	var kxs, kys []float64
-	for _, k := range ks {
-		r, err := meanRounds(o, mobilegossip.Config{
-			Algorithm: mobilegossip.AlgBlindMatch, N: 32, K: k,
-			Topology: mobilegossip.Topology{Kind: mobilegossip.Cycle},
-		})
-		if err != nil {
-			return nil, err
-		}
+	for i, k := range ks {
+		r := means[len(ns)+i]
 		t.Rows = append(t.Rows, []string{"ring k", fmtF(float64(k)), fmtF(r)})
 		kxs = append(kxs, float64(k))
 		kys = append(kys, r)
@@ -110,23 +99,38 @@ func runE2(o Options) (*Table, error) {
 		n = 32
 		ks = []int{2, 4, 8, 16}
 	}
+	ns := []int{16, 32, 64}
+	if !o.Quick {
+		ns = append(ns, 128)
+	}
 	t := &Table{
 		ID:      "E2",
 		Caption: fmt.Sprintf("SharedBit (b=1, τ=1 rotating ring): rounds vs k (n=%d) and vs n (k=4)", n),
 		Columns: []string{"sweep", "x", "rounds"},
 	}
-	var xs, ys []float64
+	var cfgs []mobilegossip.Config
 	for _, k := range ks {
-		r, err := meanRounds(o, mobilegossip.Config{
+		cfgs = append(cfgs, mobilegossip.Config{
 			Algorithm: mobilegossip.AlgSharedBit, N: n, K: k,
 			Topology: mobilegossip.Topology{Kind: mobilegossip.Cycle}, Tau: 1,
 		})
-		if err != nil {
-			return nil, err
-		}
-		t.Rows = append(t.Rows, []string{"k", fmtF(float64(k)), fmtF(r)})
+	}
+	for _, nn := range ns {
+		cfgs = append(cfgs, mobilegossip.Config{
+			Algorithm: mobilegossip.AlgSharedBit, N: nn, K: 4,
+			Topology: mobilegossip.Topology{Kind: mobilegossip.Cycle}, Tau: 1,
+		})
+	}
+	means, err := meanRoundsGrid(o, cfgs)
+	if err != nil {
+		return nil, err
+	}
+
+	var xs, ys []float64
+	for i, k := range ks {
+		t.Rows = append(t.Rows, []string{"k", fmtF(float64(k)), fmtF(means[i])})
 		xs = append(xs, float64(k))
-		ys = append(ys, r)
+		ys = append(ys, means[i])
 	}
 	kslope, err := stats.LogLogSlope(xs, ys)
 	if err != nil {
@@ -134,19 +138,9 @@ func runE2(o Options) (*Table, error) {
 	}
 	t.Notes = append(t.Notes, fmt.Sprintf("exponent in k: measured %.2f (paper O(kn): expect ≈ 1)", kslope))
 
-	ns := []int{16, 32, 64}
-	if !o.Quick {
-		ns = append(ns, 128)
-	}
 	xs, ys = nil, nil
-	for _, nn := range ns {
-		r, err := meanRounds(o, mobilegossip.Config{
-			Algorithm: mobilegossip.AlgSharedBit, N: nn, K: 4,
-			Topology: mobilegossip.Topology{Kind: mobilegossip.Cycle}, Tau: 1,
-		})
-		if err != nil {
-			return nil, err
-		}
+	for i, nn := range ns {
+		r := means[len(ks)+i]
 		t.Rows = append(t.Rows, []string{"n", fmtF(float64(nn)), fmtF(r)})
 		xs = append(xs, float64(nn))
 		ys = append(ys, r)
@@ -171,22 +165,23 @@ func runE3(o Options) (*Table, error) {
 		Caption: "Two-star head-to-head (k=1): BlindMatch (b=0) vs SharedBit (b=1)",
 		Columns: []string{"n", "blindmatch", "sharedbit", "speedup"},
 	}
-	lastRatio := 0.0
+	// Grid layout: the (blindmatch, sharedbit) pair for each n.
+	var cfgs []mobilegossip.Config
 	for _, n := range ns {
-		bm, err := meanRounds(o, mobilegossip.Config{
-			Algorithm: mobilegossip.AlgBlindMatch, N: n, K: 1,
-			Topology: mobilegossip.Topology{Kind: mobilegossip.DoubleStar},
-		})
-		if err != nil {
-			return nil, err
+		for _, alg := range []mobilegossip.Algorithm{mobilegossip.AlgBlindMatch, mobilegossip.AlgSharedBit} {
+			cfgs = append(cfgs, mobilegossip.Config{
+				Algorithm: alg, N: n, K: 1,
+				Topology: mobilegossip.Topology{Kind: mobilegossip.DoubleStar},
+			})
 		}
-		sb, err := meanRounds(o, mobilegossip.Config{
-			Algorithm: mobilegossip.AlgSharedBit, N: n, K: 1,
-			Topology: mobilegossip.Topology{Kind: mobilegossip.DoubleStar},
-		})
-		if err != nil {
-			return nil, err
-		}
+	}
+	means, err := meanRoundsGrid(o, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	lastRatio := 0.0
+	for i, n := range ns {
+		bm, sb := means[2*i], means[2*i+1]
 		lastRatio = stats.Ratio(sb, bm)
 		t.Rows = append(t.Rows, []string{
 			fmtF(float64(n)), fmtF(bm), fmtF(sb), fmtF(lastRatio)})
@@ -210,22 +205,22 @@ func runE4(o Options) (*Table, error) {
 		Caption: fmt.Sprintf("SimSharedBit vs SharedBit (n=%d, τ=1 rotating 4-regular): additive overhead", n),
 		Columns: []string{"k", "sharedbit", "simsharedbit", "ssb − 2·sb (additive part)"},
 	}
+	var cfgs []mobilegossip.Config
+	for _, k := range ks {
+		for _, alg := range []mobilegossip.Algorithm{mobilegossip.AlgSharedBit, mobilegossip.AlgSimSharedBit} {
+			cfgs = append(cfgs, mobilegossip.Config{
+				Algorithm: alg, N: n, K: k,
+				Topology: mobilegossip.Topology{Kind: mobilegossip.RandomRegular, Degree: 4}, Tau: 1,
+			})
+		}
+	}
+	means, err := meanRoundsGrid(o, cfgs)
+	if err != nil {
+		return nil, err
+	}
 	first, last := 0.0, 0.0
 	for i, k := range ks {
-		sb, err := meanRounds(o, mobilegossip.Config{
-			Algorithm: mobilegossip.AlgSharedBit, N: n, K: k,
-			Topology: mobilegossip.Topology{Kind: mobilegossip.RandomRegular, Degree: 4}, Tau: 1,
-		})
-		if err != nil {
-			return nil, err
-		}
-		ssb, err := meanRounds(o, mobilegossip.Config{
-			Algorithm: mobilegossip.AlgSimSharedBit, N: n, K: k,
-			Topology: mobilegossip.Topology{Kind: mobilegossip.RandomRegular, Degree: 4}, Tau: 1,
-		})
-		if err != nil {
-			return nil, err
-		}
+		sb, ssb := means[2*i], means[2*i+1]
 		// SimSharedBit runs gossip only on odd rounds, so its baseline cost
 		// is 2·sb; the remainder is the additive election/convergence term.
 		over := ssb - 2*sb
@@ -256,18 +251,22 @@ func runE5(o Options) (*Table, error) {
 		Caption: fmt.Sprintf("CrowdedBin (b=1, τ=∞, 4-regular expander, n=%d): rounds vs k", n),
 		Columns: []string{"k", "rounds"},
 	}
-	var xs, ys []float64
-	for _, k := range ks {
-		r, err := meanRounds(o, mobilegossip.Config{
+	cfgs := make([]mobilegossip.Config, len(ks))
+	for i, k := range ks {
+		cfgs[i] = mobilegossip.Config{
 			Algorithm: mobilegossip.AlgCrowdedBin, N: n, K: k,
 			Topology: mobilegossip.Topology{Kind: mobilegossip.RandomRegular, Degree: 4},
-		})
-		if err != nil {
-			return nil, err
 		}
-		t.Rows = append(t.Rows, []string{fmtF(float64(k)), fmtF(r)})
+	}
+	means, err := meanRoundsGrid(o, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	var xs, ys []float64
+	for i, k := range ks {
+		t.Rows = append(t.Rows, []string{fmtF(float64(k)), fmtF(means[i])})
 		xs = append(xs, float64(k))
-		ys = append(ys, r)
+		ys = append(ys, means[i])
 	}
 	slope, err := stats.LogLogSlope(xs, ys)
 	if err != nil {
@@ -301,20 +300,19 @@ func runE6(o Options) (*Table, error) {
 		Columns: []string{"graph", "α (analytic≈)", "sharedbit", "crowdedbin", "crowdedbin × α"},
 	}
 	alphas := []float64{4 / float64(n), 1 / math.Sqrt(float64(n)), 0.4, 1}
+	var cfgs []mobilegossip.Config
+	for _, f := range families {
+		for _, alg := range []mobilegossip.Algorithm{mobilegossip.AlgSharedBit, mobilegossip.AlgCrowdedBin} {
+			cfgs = append(cfgs, mobilegossip.Config{Algorithm: alg, N: n, K: k, Topology: f.top})
+		}
+	}
+	means, err := meanRoundsGrid(o, cfgs)
+	if err != nil {
+		return nil, err
+	}
 	var cbTimes []float64
 	for i, f := range families {
-		sb, err := meanRounds(o, mobilegossip.Config{
-			Algorithm: mobilegossip.AlgSharedBit, N: n, K: k, Topology: f.top,
-		})
-		if err != nil {
-			return nil, err
-		}
-		cb, err := meanRounds(o, mobilegossip.Config{
-			Algorithm: mobilegossip.AlgCrowdedBin, N: n, K: k, Topology: f.top,
-		})
-		if err != nil {
-			return nil, err
-		}
+		sb, cb := means[2*i], means[2*i+1]
 		cbTimes = append(cbTimes, cb)
 		t.Rows = append(t.Rows, []string{
 			f.label, fmt.Sprintf("%.3f", alphas[i]), fmtF(sb), fmtF(cb), fmtF(cb * alphas[i])})
@@ -342,20 +340,23 @@ func runE7(o Options) (*Table, error) {
 		Columns: []string{"objective", "rounds", "speedup vs full"},
 	}
 	top := mobilegossip.Topology{Kind: mobilegossip.RandomRegular, Degree: 6}
-	full, err := meanRounds(o, mobilegossip.Config{
+	epss := []float64{0.5, 0.75, 0.9}
+	cfgs := []mobilegossip.Config{{
 		Algorithm: mobilegossip.AlgSharedBit, N: n, K: n, Topology: top,
-	})
+	}}
+	for _, eps := range epss {
+		cfgs = append(cfgs, mobilegossip.Config{
+			Algorithm: mobilegossip.AlgSharedBit, N: n, K: n, Epsilon: eps, Topology: top,
+		})
+	}
+	means, err := meanRoundsGrid(o, cfgs)
 	if err != nil {
 		return nil, err
 	}
+	full := means[0]
 	t.Rows = append(t.Rows, []string{"full gossip", fmtF(full), "1"})
-	for _, eps := range []float64{0.5, 0.75, 0.9} {
-		r, err := meanRounds(o, mobilegossip.Config{
-			Algorithm: mobilegossip.AlgSharedBit, N: n, K: n, Epsilon: eps, Topology: top,
-		})
-		if err != nil {
-			return nil, err
-		}
+	for i, eps := range epss {
+		r := means[1+i]
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("ε=%.2f", eps), fmtF(r), fmtF(stats.Ratio(r, full))})
 	}

@@ -12,6 +12,7 @@ import (
 	"mobilegossip/internal/mtm"
 	"mobilegossip/internal/prand"
 	"mobilegossip/internal/rumor"
+	"mobilegossip/internal/runner"
 	"mobilegossip/internal/stats"
 	"mobilegossip/internal/tokenset"
 )
@@ -27,7 +28,9 @@ func init() {
 }
 
 // runE8: measure Transfer(ε)'s bit cost across N (expect polylog² growth)
-// and its failure rate across ε (expect ≤ ε).
+// and its failure rate across ε (expect ≤ ε). Every (point, rep) cell draws
+// its own split RNG stream, so the Monte-Carlo grid parallelizes without
+// any shared generator state.
 func runE8(o Options) (*Table, error) {
 	t := &Table{
 		ID:      "E8",
@@ -38,11 +41,12 @@ func runE8(o Options) (*Table, error) {
 	if o.Quick {
 		reps = 60
 	}
-	rng := prand.New(o.Seed + 5)
-	var xs, ys []float64
-	for _, n := range []int{64, 256, 1024, 4096} {
-		total := 0
-		for i := 0; i < reps; i++ {
+
+	ns := []int{64, 256, 1024, 4096}
+	bitsGrid, err := runner.MapGrid(subRunnerCfg(o, 0x8a), len(ns), reps,
+		func(p, _ int, seed uint64) (float64, error) {
+			n := ns[p]
+			rng := prand.New(seed)
 			a, b := tokenset.NewSet(n), tokenset.NewSet(n)
 			for j := 0; j < 10; j++ {
 				tok := 1 + rng.Intn(n)
@@ -52,11 +56,15 @@ func runE8(o Options) (*Table, error) {
 				}
 			}
 			a.Add(1 + rng.Intn(n))
-			c := mtm.NewConn(1, 0, 1, prand.New(o.Seed+uint64(i)), prand.New(o.Seed+uint64(i)+1), 1<<30, 1<<30)
-			out := eqtest.Transfer(c, a, b, 0.01)
-			total += out.Bits
-		}
-		mean := float64(total) / float64(reps)
+			c := mtm.NewConn(1, 0, 1, prand.New(rng.Uint64()), prand.New(rng.Uint64()), 1<<30, 1<<30)
+			return float64(eqtest.Transfer(c, a, b, 0.01).Bits), nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	var xs, ys []float64
+	for p, n := range ns {
+		mean := stats.Summarize(bitsGrid[p]).Mean
 		t.Rows = append(t.Rows, []string{"bits vs N", fmtF(float64(n)), fmtF(mean)})
 		xs = append(xs, math.Log2(float64(n)))
 		ys = append(ys, mean)
@@ -68,9 +76,11 @@ func runE8(o Options) (*Table, error) {
 	t.Notes = append(t.Notes, fmt.Sprintf(
 		"bits grow as (log N)^%.1f (paper: O(log²N · log(logN/ε)) ⇒ exponent ≈ 2)", slope))
 
-	for _, eps := range []float64{0.2, 0.05, 0.01} {
-		fails := 0
-		for i := 0; i < reps; i++ {
+	epss := []float64{0.2, 0.05, 0.01}
+	failGrid, err := runner.MapGrid(subRunnerCfg(o, 0x8b), len(epss), reps,
+		func(p, _ int, seed uint64) (float64, error) {
+			eps := epss[p]
+			rng := prand.New(seed)
 			a, b := tokenset.NewSet(256), tokenset.NewSet(256)
 			for j := 0; j < 12; j++ {
 				tok := 1 + rng.Intn(256)
@@ -82,15 +92,24 @@ func runE8(o Options) (*Table, error) {
 			b.Add(1 + rng.Intn(256))
 			want, ok := a.SmallestMissingFrom(b)
 			if !ok {
-				continue
+				return 0, nil
 			}
-			c := mtm.NewConn(1, 0, 1, prand.New(o.Seed+uint64(7000+i)), prand.New(1), 1<<30, 1<<30)
+			c := mtm.NewConn(1, 0, 1, prand.New(rng.Uint64()), prand.New(rng.Uint64()), 1<<30, 1<<30)
 			out := eqtest.Transfer(c, a, b, eps)
 			if !out.Moved || out.Token != want {
-				fails++
+				return 1, nil
 			}
+			return 0, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for p, eps := range epss {
+		fails := 0.0
+		for _, f := range failGrid[p] {
+			fails += f
 		}
-		rate := float64(fails) / float64(reps)
+		rate := fails / float64(reps)
 		t.Rows = append(t.Rows, []string{"failure rate vs ε", fmt.Sprintf("%.2f", eps), fmt.Sprintf("%.3f", rate)})
 		if rate > eps+0.05 {
 			t.Notes = append(t.Notes, fmt.Sprintf("WARNING: failure rate %.3f exceeds ε=%.2f", rate, eps))
@@ -101,7 +120,8 @@ func runE8(o Options) (*Table, error) {
 }
 
 // runE9: equal sets always advertise equally; unequal sets differ with
-// probability exactly 1/2 (Lemma 5.2).
+// probability exactly 1/2 (Lemma 5.2). A single cheap pass over one shared
+// string — inherently sequential, left off the worker pool.
 func runE9(o Options) (*Table, error) {
 	rounds := 40000
 	if o.Quick {
@@ -141,6 +161,9 @@ func runE9(o Options) (*Table, error) {
 }
 
 // runE10: leader election time across topology families and stability.
+// The (schedule × n) grid points and their repetitions all run on the
+// worker pool; each cell constructs its own dynamic schedule because Regen
+// caches epochs and must not be shared across concurrent engines.
 func runE10(o Options) (*Table, error) {
 	ns := []int{16, 32, 64, 128}
 	if o.Quick {
@@ -151,10 +174,30 @@ func runE10(o Options) (*Table, error) {
 		Caption: "BitConvergence leader election: rounds to converge",
 		Columns: []string{"schedule", "n", "rounds"},
 	}
-	reps := trials(o)
-	run := func(label string, n int, dyn dyngraph.Dynamic, seed uint64) error {
-		var xs []float64
-		for i := 0; i < reps; i++ {
+	type point struct {
+		label   string
+		n       int
+		engSeed uint64
+		mk      func(n int) dyngraph.Dynamic
+	}
+	var points []point
+	for _, n := range ns {
+		points = append(points,
+			point{"static ring", n, o.Seed + 1, func(n int) dyngraph.Dynamic {
+				return dyngraph.NewStatic(graph.Cycle(n))
+			}},
+			point{"static 4-regular", n, o.Seed + 2, func(n int) dyngraph.Dynamic {
+				return dyngraph.NewStatic(graph.RandomRegular(n, 4, prand.New(o.Seed+3)))
+			}},
+			point{"rotating ring τ=1", n, o.Seed + 5, func(n int) dyngraph.Dynamic {
+				return dyngraph.RotatingRing(n, 1, o.Seed+4)
+			}},
+		)
+	}
+	grid, err := runner.MapGrid(runnerCfg(o), len(points), trials(o),
+		func(pi, i int, _ uint64) (float64, error) {
+			pt := points[pi]
+			n := pt.n
 			ids := make([]int, n)
 			pays := make([]uint64, n)
 			for u := range ids {
@@ -162,28 +205,22 @@ func runE10(o Options) (*Table, error) {
 				pays[u] = uint64(u)
 			}
 			p := leader.New(ids, pays)
-			res, err := mtm.NewEngine(dyn, p, mtm.Config{Seed: seed + uint64(i), MaxRounds: 1 << 20}).Run()
+			res, err := mtm.NewEngine(pt.mk(n), p,
+				mtm.Config{Seed: pt.engSeed + uint64(i), MaxRounds: 1 << 20}).Run()
 			if err != nil {
-				return err
+				return 0, err
 			}
 			if !res.Completed {
-				return fmt.Errorf("harness: election unfinished on %s n=%d", label, n)
+				return 0, fmt.Errorf("harness: election unfinished on %s n=%d", pt.label, n)
 			}
-			xs = append(xs, float64(res.Rounds))
-		}
-		t.Rows = append(t.Rows, []string{label, fmtF(float64(n)), fmtF(stats.Summarize(xs).Mean)})
-		return nil
+			return float64(res.Rounds), nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	for _, n := range ns {
-		if err := run("static ring", n, dyngraph.NewStatic(graph.Cycle(n)), o.Seed+1); err != nil {
-			return nil, err
-		}
-		if err := run("static 4-regular", n, dyngraph.NewStatic(graph.RandomRegular(n, 4, prand.New(o.Seed+3))), o.Seed+2); err != nil {
-			return nil, err
-		}
-		if err := run("rotating ring τ=1", n, dyngraph.RotatingRing(n, 1, o.Seed+4), o.Seed+5); err != nil {
-			return nil, err
-		}
+	for pi, pt := range points {
+		t.Rows = append(t.Rows, []string{
+			pt.label, fmtF(float64(pt.n)), fmtF(stats.Summarize(grid[pi]).Mean)})
 	}
 	t.Notes = append(t.Notes,
 		"paper contract ([22]): Õ((1/α)·Δ^{1/τ}) — ring (α≈4/n) grows ≈ linearly in n, "+
@@ -192,7 +229,9 @@ func runE10(o Options) (*Table, error) {
 }
 
 // runE11: PPUSH completes in O(log⁴N/α): rounds scale with 1/α across
-// families at fixed n.
+// families at fixed n. Repetitions run on the worker pool over the shared
+// read-only graphs; the α estimation keeps its single sequential RNG so the
+// printed estimates match the sequential path bit-for-bit.
 func runE11(o Options) (*Table, error) {
 	n := 64
 	reps := trials(o)
@@ -213,23 +252,28 @@ func runE11(o Options) (*Table, error) {
 		Caption: fmt.Sprintf("PPUSH rumor spreading (n=%d): rounds vs expansion", n),
 		Columns: []string{"graph", "α (est)", "rounds"},
 	}
-	rng := prand.New(o.Seed + 11)
-	for _, f := range fams {
-		var xs []float64
-		for i := 0; i < reps; i++ {
+	grid, err := runner.MapGrid(runnerCfg(o), len(fams), reps,
+		func(fi, i int, _ uint64) (float64, error) {
+			f := fams[fi]
 			p := rumor.New(n, []int{0})
 			res, err := mtm.NewEngine(dyngraph.NewStatic(f.g), p,
 				mtm.Config{Seed: o.Seed + uint64(100*i), MaxRounds: 1 << 20}).Run()
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			if !res.Completed {
-				return nil, fmt.Errorf("harness: PPUSH unfinished on %s", f.label)
+				return 0, fmt.Errorf("harness: PPUSH unfinished on %s", f.label)
 			}
-			xs = append(xs, float64(res.Rounds))
-		}
+			return float64(res.Rounds), nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	rng := prand.New(o.Seed + 11)
+	for fi, f := range fams {
 		alpha := f.g.EstimateVertexExpansion(60, rng)
-		t.Rows = append(t.Rows, []string{f.label, fmt.Sprintf("%.3f", alpha), fmtF(stats.Summarize(xs).Mean)})
+		t.Rows = append(t.Rows, []string{
+			f.label, fmt.Sprintf("%.3f", alpha), fmtF(stats.Summarize(grid[fi]).Mean)})
 	}
 	t.Notes = append(t.Notes, "paper (Thm 6.1): O(log⁴N/α) — rounds increase as α decreases")
 	return t, nil
@@ -255,30 +299,42 @@ func gridFor(n int) *graph.Graph {
 }
 
 // runE12: Monte-Carlo check of Lemma 6.4 — k balls in k′ ≥ k bins rarely
-// crowd any bin to γ·logN.
+// crowd any bin to γ·logN. Each (k, γ) point runs its repetition batch on
+// the worker pool with a private split RNG stream.
 func runE12(o Options) (*Table, error) {
 	reps := 4000
 	if o.Quick {
 		reps = 800
 	}
-	rng := prand.New(o.Seed + 12)
 	t := &Table{
 		ID:      "E12",
 		Caption: "Lemma 6.4: P(some bin ≥ γ·log₂N balls) for k balls in k bins",
 		Columns: []string{"k=N", "γ", "threshold", "measured P", "paper bound"},
 	}
+	type point struct {
+		k         int
+		gamma     float64
+		threshold int
+	}
+	var points []point
 	for _, k := range []int{64, 256} {
 		logN := math.Log2(float64(k))
 		for _, gamma := range []float64{1, 2, 3} {
-			threshold := int(gamma * logN)
+			points = append(points, point{k, gamma, int(gamma * logN)})
+		}
+	}
+	crowdGrid, err := runner.Map(subRunnerCfg(o, 0x12), len(points),
+		func(j runner.Job) (int, error) {
+			pt := points[j.Index]
+			rng := prand.New(j.Seed)
 			crowded := 0
 			for rep := 0; rep < reps; rep++ {
-				bins := make([]int, k)
+				bins := make([]int, pt.k)
 				over := false
-				for ball := 0; ball < k; ball++ {
-					b := rng.Intn(k)
+				for ball := 0; ball < pt.k; ball++ {
+					b := rng.Intn(pt.k)
 					bins[b]++
-					if bins[b] >= threshold {
+					if bins[b] >= pt.threshold {
 						over = true
 					}
 				}
@@ -286,11 +342,16 @@ func runE12(o Options) (*Table, error) {
 					crowded++
 				}
 			}
-			bound := "1/N^(γ/3−2) (γ≥9)"
-			t.Rows = append(t.Rows, []string{
-				fmtF(float64(k)), fmt.Sprintf("%.0f", gamma), fmtF(float64(threshold)),
-				fmt.Sprintf("%.4f", float64(crowded)/float64(reps)), bound})
-		}
+			return crowded, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for pi, pt := range points {
+		bound := "1/N^(γ/3−2) (γ≥9)"
+		t.Rows = append(t.Rows, []string{
+			fmtF(float64(pt.k)), fmt.Sprintf("%.0f", pt.gamma), fmtF(float64(pt.threshold)),
+			fmt.Sprintf("%.4f", float64(crowdGrid[pi])/float64(reps)), bound})
 	}
 	t.Notes = append(t.Notes,
 		"crowding probability collapses as γ grows — the evidence mechanism CrowdedBin "+
@@ -298,7 +359,8 @@ func runE12(o Options) (*Table, error) {
 	return t, nil
 }
 
-// runE13: Theorem 6.2 — D = O(log n / α) across families.
+// runE13: Theorem 6.2 — D = O(log n / α) across families. Cheap and
+// threaded through one RNG for the expansion estimates; left sequential.
 func runE13(o Options) (*Table, error) {
 	n := 64
 	if o.Quick {
@@ -338,7 +400,8 @@ func runE13(o Options) (*Table, error) {
 }
 
 // runE14: instrument CrowdedBin's estimate trajectory — stabilization is
-// fast and upgrades are geometric (Lemmas 6.7-6.9).
+// fast and upgrades are geometric (Lemmas 6.7-6.9). The per-k instrumented
+// runs are independent and execute on the worker pool.
 func runE14(o Options) (*Table, error) {
 	n := 32
 	ks := []int{4, 8, 16}
@@ -351,7 +414,8 @@ func runE14(o Options) (*Table, error) {
 		Caption: fmt.Sprintf("CrowdedBin ablation (n=%d): estimate stabilization vs completion", n),
 		Columns: []string{"k", "rounds to est-stable", "total rounds", "stable fraction", "final k̂=2^est range"},
 	}
-	for _, k := range ks {
+	rows, err := runner.Map(runnerCfg(o), len(ks), func(j runner.Job) ([]string, error) {
+		k := ks[j.Index]
 		st, err := core.NewState(n, core.OneTokenPerNode(n, k), 1e-4)
 		if err != nil {
 			return nil, err
@@ -387,11 +451,15 @@ func runE14(o Options) (*Table, error) {
 				maxE = e
 			}
 		}
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			fmtF(float64(k)), fmtF(float64(lastChange)), fmtF(float64(res.Rounds)),
 			fmt.Sprintf("%.2f", float64(lastChange)/float64(res.Rounds)),
-			fmt.Sprintf("[%d,%d] (k=%d)", 1<<uint(minE), 1<<uint(maxE), k)})
+			fmt.Sprintf("[%d,%d] (k=%d)", 1<<uint(minE), 1<<uint(maxE), k)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = append(t.Rows, rows...)
 	t.Notes = append(t.Notes,
 		"paper (Lemma 6.9): estimates stabilize within O(D·k_i·log³N) rounds, a fraction of "+
 			"the total; final estimates satisfy k ≤ … ≤ 2k up to the γ·logN crowding slack")

@@ -15,13 +15,14 @@ import (
 )
 
 // Table is one experiment's output: a caption, a header row, data rows and
-// free-form notes (the "paper vs measured" comparison).
+// free-form notes (the "paper vs measured" comparison). The JSON tags give
+// benchtable's -json mode its BENCH_*.json row shape.
 type Table struct {
-	ID      string
-	Caption string
-	Columns []string
-	Rows    [][]string
-	Notes   []string
+	ID      string     `json:"id"`
+	Caption string     `json:"caption"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
 }
 
 // Render writes the table in aligned text form.
@@ -79,6 +80,12 @@ func (t *Table) RenderCSV(w io.Writer) error {
 type Options struct {
 	Quick bool
 	Seed  uint64
+	// Workers bounds the sweep engine's parallelism; 0 means GOMAXPROCS.
+	// Results are bit-identical at every worker count (see internal/runner).
+	Workers int
+	// OnProgress, if set, receives (done, total) after each finished grid
+	// cell of the experiment's current sweep.
+	OnProgress func(done, total int)
 }
 
 // Experiment regenerates one paper exhibit.

@@ -82,6 +82,37 @@ func TestAllExperimentsRunQuick(t *testing.T) {
 	}
 }
 
+// TestWorkerCountInvariance is the harness's determinism contract: an
+// E1-style Figure-1 sweep renders byte-identical tables at 1 worker (the
+// old sequential path) and at high parallelism, for the same seed.
+func TestWorkerCountInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep invariance check skipped in -short mode")
+	}
+	for _, id := range []string{"E1", "E7"} {
+		e, ok := Lookup(id)
+		if !ok {
+			t.Fatalf("%s missing", id)
+		}
+		var renders []string
+		for _, workers := range []int{1, 16} {
+			tab, err := e.Run(Options{Quick: true, Seed: 42, Workers: workers})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", id, workers, err)
+			}
+			var buf bytes.Buffer
+			if err := tab.Render(&buf); err != nil {
+				t.Fatal(err)
+			}
+			renders = append(renders, buf.String())
+		}
+		if renders[0] != renders[1] {
+			t.Errorf("%s: table differs between 1 and 16 workers:\n%s\nvs\n%s",
+				id, renders[0], renders[1])
+		}
+	}
+}
+
 func TestLookup(t *testing.T) {
 	if _, ok := Lookup("e1"); !ok {
 		t.Fatal("lower-case lookup failed")

@@ -27,6 +27,16 @@ func Mix64(x uint64) uint64 {
 	return splitMix64(&s)
 }
 
+// StreamSeed splits the stream identified by base into independent
+// substreams indexed by stream: two SplitMix64 rounds over an odd-multiplier
+// spread of the index, so that adjacent indices (the common case for sweep
+// grids) land in unrelated regions of the seed space. It is the primitive
+// the sweep runner uses to give every (point, trial) grid cell its own
+// deterministic seed, independent of worker count and completion order.
+func StreamSeed(base, stream uint64) uint64 {
+	return Mix64(base ^ Mix64(stream*0x9e3779b97f4a7c15+0x6a09e667f3bcc909))
+}
+
 // RNG is a small, fast, seedable PRNG (xoshiro256**). The zero value is not
 // valid; construct with New. RNG is not safe for concurrent use; the engine
 // gives each node its own RNG.

@@ -1,0 +1,163 @@
+package mobilegossip_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"sync"
+	"testing"
+
+	"mobilegossip"
+)
+
+func sweepPoints() []mobilegossip.Config {
+	var pts []mobilegossip.Config
+	for _, n := range []int{16, 24, 32} {
+		pts = append(pts, mobilegossip.Config{
+			Algorithm: mobilegossip.AlgSharedBit, N: n, K: 4,
+			Topology: mobilegossip.Topology{Kind: mobilegossip.RandomRegular, Degree: 4},
+			Tau:      1,
+		})
+	}
+	return pts
+}
+
+// TestRunSweepDeterministicAcrossWorkers: RunSweep's central contract —
+// the same SweepConfig yields identical results at every worker count.
+func TestRunSweepDeterministicAcrossWorkers(t *testing.T) {
+	var want mobilegossip.SweepResult
+	for i, workers := range []int{1, 4, 16} {
+		got, err := mobilegossip.RunSweep(mobilegossip.SweepConfig{
+			Points: sweepPoints(), Trials: 3, Seed: 7, Workers: workers,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if i == 0 {
+			want = got
+			continue
+		}
+		if !reflect.DeepEqual(got.Points, want.Points) {
+			t.Fatalf("workers=%d produced different results than workers=1", workers)
+		}
+	}
+	for p, pt := range want.Points {
+		if pt.Solved != len(pt.Runs) {
+			t.Errorf("point %d: %d/%d solved", p, pt.Solved, len(pt.Runs))
+		}
+		if pt.MinRounds > pt.MaxRounds || pt.MeanRounds <= 0 {
+			t.Errorf("point %d: bad aggregate %+v", p, pt)
+		}
+	}
+}
+
+// TestRunSweepCellReproducibleViaRun: every sweep cell can be replayed as a
+// single Run at the seed SweepSeed exposes.
+func TestRunSweepCellReproducibleViaRun(t *testing.T) {
+	const trials = 2
+	sr, err := mobilegossip.RunSweep(mobilegossip.SweepConfig{
+		Points: sweepPoints(), Trials: trials, Seed: 99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, pt := range sr.Points {
+		for tr, got := range pt.Runs {
+			cfg := sweepPoints()[p]
+			cfg.Seed = mobilegossip.SweepSeed(99, p*trials+tr)
+			want, err := mobilegossip.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Errorf("point %d trial %d: sweep %+v != direct run %+v", p, tr, got, want)
+			}
+		}
+	}
+}
+
+func TestRunSweepValidation(t *testing.T) {
+	if _, err := mobilegossip.RunSweep(mobilegossip.SweepConfig{}); err == nil {
+		t.Fatal("empty sweep should error")
+	}
+	_, err := mobilegossip.RunSweep(mobilegossip.SweepConfig{
+		Points: []mobilegossip.Config{{Algorithm: mobilegossip.AlgSharedBit, N: 1, K: 1}},
+	})
+	if err == nil {
+		t.Fatal("invalid point config should propagate Run's validation error")
+	}
+}
+
+func TestRunSweepProgress(t *testing.T) {
+	var mu sync.Mutex
+	last, calls := 0, 0
+	sr, err := mobilegossip.RunSweep(mobilegossip.SweepConfig{
+		Points: sweepPoints()[:2], Trials: 2, Seed: 3, Workers: 2,
+		OnProgress: func(done, total int) {
+			mu.Lock()
+			defer mu.Unlock()
+			calls++
+			last = done
+			if total != 4 {
+				t.Errorf("total = %d, want 4", total)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 4 || last != 4 {
+		t.Errorf("progress: %d calls, last done=%d, want 4/4", calls, last)
+	}
+	if len(sr.Points) != 2 {
+		t.Errorf("points = %d, want 2", len(sr.Points))
+	}
+}
+
+// TestSweepWriteJSON checks the BENCH-shaped document round-trips and
+// carries the per-point aggregates.
+func TestSweepWriteJSON(t *testing.T) {
+	sr, err := mobilegossip.RunSweep(mobilegossip.SweepConfig{
+		Points: sweepPoints(), Trials: 2, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Schema  string `json:"schema"`
+		Workers int    `json:"workers"`
+		Points  []struct {
+			Algorithm  string  `json:"algorithm"`
+			N          int     `json:"n"`
+			K          int     `json:"k"`
+			Tau        int     `json:"tau"`
+			Trials     int     `json:"trials"`
+			Solved     int     `json:"solved"`
+			MeanRounds float64 `json:"mean_rounds"`
+		} `json:"points"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("emitted JSON does not parse: %v\n%s", err, buf.String())
+	}
+	if doc.Schema != "mobilegossip/bench-v1" {
+		t.Errorf("schema = %q", doc.Schema)
+	}
+	if doc.Workers < 1 {
+		t.Errorf("workers = %d", doc.Workers)
+	}
+	if len(doc.Points) != 3 {
+		t.Fatalf("points = %d, want 3", len(doc.Points))
+	}
+	for i, p := range doc.Points {
+		if p.Algorithm != "sharedbit" || p.Trials != 2 || p.Solved != 2 || p.MeanRounds <= 0 {
+			t.Errorf("point %d malformed: %+v", i, p)
+		}
+		if p.N != []int{16, 24, 32}[i] || p.K != 4 || p.Tau != 1 {
+			t.Errorf("point %d config fields wrong: %+v", i, p)
+		}
+	}
+}
