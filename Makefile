@@ -1,9 +1,14 @@
 # Targets mirror .github/workflows/ci.yml step for step, so a green local
-# `make ci` means a green CI run and the two can't drift.
+# `make ci` means a green CI run and the two can't drift. (Exceptions: lint
+# soft-skips when staticcheck isn't installed, and bench-gate compares
+# against BENCH_core.json, whose ns/op baselines are machine-dependent —
+# refresh with `make bench-baseline` on the machine you gate on.)
 
 GO ?= go
+BENCHTIME ?= 500x
+TOLERANCE ?= 0.15
 
-.PHONY: all build vet fmt test race bench ci
+.PHONY: all build vet fmt lint test race bench bench-core bench-gate bench-baseline determinism ci
 
 all: build
 
@@ -20,6 +25,17 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
+# lint runs staticcheck exactly as the CI build job does. Locally it
+# soft-skips when the binary is missing so `make ci` stays runnable on
+# fresh machines; CI always installs and runs it.
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, skipping"; \
+		echo "      (go install honnef.co/go/tools/cmd/staticcheck@2025.1.1)"; \
+	fi
+
 test:
 	$(GO) test ./...
 
@@ -32,4 +48,31 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
-ci: build vet fmt race test bench
+# bench-core runs the fixed-round EngineRound suite the regression gate
+# consumes (fixed BENCHTIME so baseline and fresh runs execute the same
+# round distribution).
+bench-core:
+	$(GO) test -bench=BenchmarkEngineRound -benchmem -benchtime=$(BENCHTIME) -run='^$$' . | tee bench-core.txt
+
+# bench-gate compares a fresh bench-core run against the committed
+# BENCH_core.json baseline (±15% ns/op and allocs/op; a 0-alloc baseline
+# admits no allocations) and records the fresh numbers for inspection.
+bench-gate: bench-core
+	$(GO) run ./cmd/benchgate -input bench-core.txt -baseline BENCH_core.json \
+		-out BENCH_core.fresh.json -benchtime $(BENCHTIME) -tolerance $(TOLERANCE)
+
+# bench-baseline rewrites BENCH_core.json from a fresh run; commit the
+# result after intentional performance changes.
+bench-baseline: bench-core
+	$(GO) run ./cmd/benchgate -input bench-core.txt -out BENCH_core.json -benchtime $(BENCHTIME)
+
+# determinism checks the runner's bit-reproducibility invariant: the E1
+# table must be byte-identical at 1 worker and at GOMAXPROCS workers.
+determinism:
+	$(GO) run ./cmd/benchtable -exp e1 -parallel 1 -csv > e1_w1.csv
+	$(GO) run ./cmd/benchtable -exp e1 -csv > e1_wmax.csv
+	cmp e1_w1.csv e1_wmax.csv
+	@rm -f e1_w1.csv e1_wmax.csv
+	@echo "determinism: E1 byte-identical at 1 and GOMAXPROCS workers"
+
+ci: build vet fmt lint race test bench determinism bench-gate

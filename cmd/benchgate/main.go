@@ -1,0 +1,207 @@
+// Command benchgate is the CI benchmark-regression gate: it parses `go test
+// -bench -benchmem` output, compares ns/op and allocs/op against a committed
+// BENCH-shaped JSON baseline with a relative tolerance, and exits nonzero on
+// regression — locking in the performance of the simulation core instead of
+// letting it erode silently.
+//
+// Usage:
+//
+//	go test -bench=BenchmarkEngineRound -benchmem -benchtime=500x -run='^$' . |
+//	    go run ./cmd/benchgate -baseline BENCH_core.json -out BENCH_core.fresh.json
+//
+//	go test -bench=... | go run ./cmd/benchgate -out BENCH_core.json   # (re)write a baseline
+//
+// Comparison rules, per baseline benchmark:
+//
+//   - ns/op may grow by at most -tolerance (default 0.15, i.e. ±15%).
+//   - allocs/op may grow by at most the same factor — so a 0-alloc baseline
+//     admits no allocation at all, pinning the engine's steady-state
+//     0 allocs/op invariant.
+//   - a benchmark present in the baseline but missing from the fresh run
+//     fails the gate (renames must update the baseline deliberately).
+//
+// The fresh results are always written to -out (when given) in the same
+// BENCH JSON shape, so CI can upload them as a build artifact and a baseline
+// refresh is one file copy.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// benchJSON is the BENCH_*.json document shape (schema-tagged like the
+// sweep and benchtable documents).
+type benchJSON struct {
+	Schema    string     `json:"schema"`
+	GoVersion string     `json:"go_version"`
+	Benchtime string     `json:"benchtime,omitempty"`
+	Rows      []benchRow `json:"benchmarks"`
+}
+
+type benchRow struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	var (
+		baseline  = fs.String("baseline", "", "baseline BENCH JSON to compare against (empty = no gate, just record)")
+		out       = fs.String("out", "", "write the fresh results to this BENCH JSON file")
+		input     = fs.String("input", "-", "go-test bench output to read (- = stdin)")
+		tolerance = fs.Float64("tolerance", 0.15, "allowed relative growth in ns/op and allocs/op")
+		benchtime = fs.String("benchtime", "", "benchtime tag recorded in the output document")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var r io.Reader = os.Stdin
+	if *input != "-" {
+		f, err := os.Open(*input)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	fresh, err := parseBench(r)
+	if err != nil {
+		return err
+	}
+	if len(fresh) == 0 {
+		return fmt.Errorf("no benchmark lines found in input")
+	}
+
+	if *out != "" {
+		doc := benchJSON{
+			Schema:    "mobilegossip/bench-core-v1",
+			GoVersion: runtime.Version(),
+			Benchtime: *benchtime,
+			Rows:      fresh,
+		}
+		buf, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("recorded %d benchmarks to %s\n", len(fresh), *out)
+	}
+
+	if *baseline == "" {
+		return nil
+	}
+	buf, err := os.ReadFile(*baseline)
+	if err != nil {
+		return err
+	}
+	var base benchJSON
+	if err := json.Unmarshal(buf, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", *baseline, err)
+	}
+
+	byName := make(map[string]benchRow, len(fresh))
+	for _, row := range fresh {
+		byName[row.Name] = row
+	}
+	failures := 0
+	for _, want := range base.Rows {
+		got, ok := byName[want.Name]
+		if !ok {
+			fmt.Printf("FAIL %-28s missing from the fresh run\n", want.Name)
+			failures++
+			continue
+		}
+		ok = true
+		if lim := want.NsPerOp * (1 + *tolerance); got.NsPerOp > lim {
+			fmt.Printf("FAIL %-28s ns/op %.0f > %.0f (baseline %.0f %+.1f%%)\n",
+				want.Name, got.NsPerOp, lim, want.NsPerOp,
+				100*(got.NsPerOp/want.NsPerOp-1))
+			failures++
+			ok = false
+		}
+		if lim := want.AllocsPerOp * (1 + *tolerance); got.AllocsPerOp > lim {
+			fmt.Printf("FAIL %-28s allocs/op %.0f > baseline %.0f (tolerance admits %.1f)\n",
+				want.Name, got.AllocsPerOp, want.AllocsPerOp, lim)
+			failures++
+			ok = false
+		}
+		if ok {
+			fmt.Printf("ok   %-28s ns/op %.0f (baseline %.0f %+.1f%%), allocs/op %.0f\n",
+				want.Name, got.NsPerOp, want.NsPerOp,
+				100*(got.NsPerOp/want.NsPerOp-1), got.AllocsPerOp)
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d benchmark regression(s) against %s (±%.0f%% tolerance)",
+			failures, *baseline, 100**tolerance)
+	}
+	fmt.Printf("bench gate passed: %d benchmarks within ±%.0f%% of %s\n",
+		len(base.Rows), 100**tolerance, *baseline)
+	return nil
+}
+
+// benchLine matches `go test -bench -benchmem` result lines, e.g.
+//
+//	BenchmarkEngineRound/seq_n256_k32-8  500  94619 ns/op  0 B/op  0 allocs/op
+var (
+	benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(.*)$`)
+	bytesOp   = regexp.MustCompile(`([0-9.]+) B/op`)
+	allocsOp  = regexp.MustCompile(`([0-9.]+) allocs/op`)
+)
+
+// parseBench extracts rows from go-test benchmark output. The -<GOMAXPROCS>
+// suffix is stripped from names so baselines compare across machines.
+func parseBench(r io.Reader) ([]benchRow, error) {
+	var rows []benchRow
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		row := benchRow{
+			Name:       strings.TrimPrefix(m[1], "Benchmark"),
+			Iterations: iters,
+			NsPerOp:    ns,
+		}
+		rest := m[4]
+		if bm := bytesOp.FindStringSubmatch(rest); bm != nil {
+			row.BytesPerOp, _ = strconv.ParseFloat(bm[1], 64)
+		}
+		if am := allocsOp.FindStringSubmatch(rest); am != nil {
+			row.AllocsPerOp, _ = strconv.ParseFloat(am[1], 64)
+		}
+		rows = append(rows, row)
+	}
+	return rows, sc.Err()
+}

@@ -7,6 +7,7 @@
 //	gossipsim -alg crowdedbin -graph gnp -n 256 -k 32
 //	gossipsim -alg sharedbit -graph regular -n 128 -k 128 -epsilon 0.75
 //	gossipsim -alg simsharedbit -graph doublestar -n 64 -k 4 -tau 1
+//	gossipsim -alg sharedbit -graph rgg -n 100000 -k 16 -maxrounds 500
 //
 // Comma lists in -n and -k, or -trials > 1, switch to the parallel sweep
 // path: the n×k cross-product grid runs -trials times per point on the
@@ -43,12 +44,14 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("gossipsim", flag.ContinueOnError)
 	var (
 		algName   = fs.String("alg", "sharedbit", "algorithm: blindmatch|sharedbit|simsharedbit|crowdedbin")
-		graphName = fs.String("graph", "regular", "topology: cycle|path|complete|star|doublestar|grid|hypercube|gnp|regular|barbell")
+		graphName = fs.String("graph", "regular", "topology: cycle|path|complete|star|doublestar|grid|hypercube|gnp|regular|barbell|rgg|pa")
 		nList     = fs.String("n", "64", "network size, or comma list for a sweep")
 		kList     = fs.String("k", "8", "token count (1..n), or comma list for a sweep")
 		tau       = fs.Int("tau", 0, "stability factor; 0 = static (τ=∞), t>=1 redraws topology every t rounds")
 		degree    = fs.Int("degree", 4, "degree for -graph regular")
 		p         = fs.Float64("p", 0, "edge probability for -graph gnp (0 = default 2·ln(n)/n)")
+		radius    = fs.Float64("radius", 0, "connection radius for -graph rgg (0 = just above the connectivity threshold)")
+		attach    = fs.Int("attach", 0, "edges per new vertex for -graph pa (0 = default 3)")
 		epsilon   = fs.Float64("epsilon", 0, "ε-gossip fraction in (0,1); requires -alg sharedbit and -k = -n")
 		seed      = fs.Uint64("seed", 1, "run seed (fully determines the execution, sweep or single)")
 		maxRounds = fs.Int("maxrounds", 0, "abort after this many rounds (0 = engine default)")
@@ -86,7 +89,7 @@ func run(args []string) error {
 			Algorithm:  alg,
 			N:          n,
 			K:          k,
-			Topology:   mobilegossip.Topology{Kind: kind, Degree: *degree, P: *p},
+			Topology:   mobilegossip.Topology{Kind: kind, Degree: *degree, P: *p, Radius: *radius, Attach: *attach},
 			Tau:        *tau,
 			Epsilon:    *epsilon,
 			TagBits:    *tagBits,

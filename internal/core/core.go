@@ -69,11 +69,14 @@ func OneTokenPerNode(n, k int) Assignment {
 }
 
 // State is the per-run gossip state shared by all algorithms: every node's
-// token set over [1, N], plus completion tracking.
+// token set over [1, N], plus completion tracking. The per-node sets live on
+// a single flat tokenset.Arena indexed by NodeID, so a million-node run
+// costs one bitset allocation rather than one per node.
 type State struct {
 	n           int
 	universe    int
 	k           int
+	arena       *tokenset.Arena
 	sets        []*tokenset.Set
 	transferEps float64
 	done        bool
@@ -86,10 +89,8 @@ func NewState(n int, a Assignment, transferEps float64) (*State, error) {
 		return nil, err
 	}
 	st := &State{n: n, universe: a.Universe, k: len(a.Tokens), transferEps: transferEps}
-	st.sets = make([]*tokenset.Set, n)
-	for u := 0; u < n; u++ {
-		st.sets[u] = tokenset.NewSet(a.Universe)
-	}
+	st.arena = tokenset.NewArena(n, a.Universe)
+	st.sets = st.arena.Sets()
 	for i, t := range a.Tokens {
 		st.sets[a.Owners[i]].Add(t)
 	}

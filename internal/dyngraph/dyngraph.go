@@ -133,7 +133,7 @@ func RotatingRing(n, tau int, seed uint64) *Regen {
 	return NewRegen(n, tau, seed, "rotating-ring",
 		func(_ int, rng *prand.RNG) *graph.Graph {
 			perm := rng.Perm(n)
-			b := graph.NewBuilder(n)
+			b := graph.NewBuilderCap(n, n)
 			for i := 0; i < n; i++ {
 				_ = b.AddEdge(perm[i], perm[(i+1)%n])
 			}
@@ -148,7 +148,7 @@ func RotatingDoubleStar(n, tau int, seed uint64) *Regen {
 	return NewRegen(n, tau, seed, "rotating-doublestar",
 		func(_ int, rng *prand.RNG) *graph.Graph {
 			perm := rng.Perm(n)
-			b := graph.NewBuilder(n)
+			b := graph.NewBuilderCap(n, n)
 			if n >= 2 {
 				_ = b.AddEdge(perm[0], perm[1])
 			}

@@ -17,6 +17,9 @@ package eqtest
 import (
 	"math"
 	"math/bits"
+	"sync"
+
+	"mobilegossip/internal/modmath"
 
 	"mobilegossip/internal/mtm"
 	"mobilegossip/internal/prand"
@@ -34,10 +37,78 @@ func primeRangeFor(n int) uint64 {
 	return 8 * uint64(n) * lg
 }
 
-// randomPrime samples a uniform prime in [3, limit] by rejection.
+// maxSieveLimit bounds the prime-range size for which randomPrime uses a
+// cached sieve bitmap (2^28 → a 32 MiB bitmap, reached only for universes
+// beyond ~1.5M tokens). Larger ranges fall back to per-candidate
+// Miller–Rabin.
+const maxSieveLimit = 1 << 28
+
+// The cache holds a single bitmap: a sieve for limit L answers every
+// limit ≤ L (the lookup only indexes bits ≤ limit), so the cache grows
+// monotonically to the largest range requested — at most one ~32 MiB
+// bitmap per process, not one per universe size in a mixed-size sweep.
+var (
+	sieveMu    sync.RWMutex
+	sieveLimit uint64
+	sieveBits  []uint64
+)
+
+// primeBitmap returns (building and caching on first use) a primality
+// bitmap covering at least [0, limit]. The prime range is a function of the
+// token universe alone, so a whole sweep shares one bitmap.
+func primeBitmap(limit uint64) []uint64 {
+	sieveMu.RLock()
+	bm, cached := sieveBits, sieveLimit
+	sieveMu.RUnlock()
+	if cached >= limit {
+		return bm
+	}
+	sieveMu.Lock()
+	defer sieveMu.Unlock()
+	if sieveLimit >= limit {
+		return sieveBits
+	}
+	sieveBits = buildSieve(limit)
+	sieveLimit = limit
+	return sieveBits
+}
+
+// buildSieve runs Eratosthenes over [0, limit] into a bitmap.
+func buildSieve(limit uint64) []uint64 {
+	bm := make([]uint64, limit/64+1)
+	for i := range bm {
+		bm[i] = ^uint64(0)
+	}
+	bm[0] &^= 3 // 0 and 1 are not prime
+	for p := uint64(2); p*p <= limit; p++ {
+		if bm[p>>6]&(1<<(p&63)) == 0 {
+			continue
+		}
+		for c := p * p; c <= limit; c += p {
+			bm[c>>6] &^= 1 << (c & 63)
+		}
+	}
+	return bm
+}
+
+// randomPrime samples a uniform prime in [3, limit] by rejection. The
+// candidate primality test is a sieve-bitmap lookup for realistic ranges
+// (identical accept/reject decisions to Miller–Rabin, so executions are
+// unchanged), with the deterministic Miller–Rabin as the unbounded-range
+// fallback. Transfer(ε) draws hundreds of primes per connection, which made
+// per-candidate Miller–Rabin the simulator's single hottest path.
 func randomPrime(rng *prand.RNG, limit uint64) uint64 {
 	if limit < 5 {
 		limit = 5
+	}
+	if limit <= maxSieveLimit {
+		bm := primeBitmap(limit)
+		for {
+			q := 3 + uint64(rng.Intn(int(limit-2)))
+			if bm[q>>6]&(1<<(q&63)) != 0 {
+				return q
+			}
+		}
 	}
 	for {
 		q := 3 + uint64(rng.Intn(int(limit-2)))
@@ -45,6 +116,24 @@ func randomPrime(rng *prand.RNG, limit uint64) uint64 {
 			return q
 		}
 	}
+}
+
+// Miller–Rabin witness sets, each proven sufficient for deterministic
+// primality below its threshold (Pomerance–Selfridge–Wagstaff / Jaeschke /
+// Sinclair bounds). The prime-sampling range for a universe of n tokens is
+// ~8·n·log n, so realistic simulations stay in the 2- or 4-witness tiers —
+// a 3–6× cut over always running the full 12-witness battery, with decisions
+// (and therefore executions) unchanged.
+var mrTiers = []struct {
+	below     uint64
+	witnesses []uint64
+}{
+	{2_047, []uint64{2}},
+	{1_373_653, []uint64{2, 3}},
+	{3_215_031_751, []uint64{2, 3, 5, 7}},
+	{3_474_749_660_383, []uint64{2, 3, 5, 7, 11, 13}},
+	{341_550_071_728_321, []uint64{2, 3, 5, 7, 11, 13, 17}},
+	{^uint64(0), []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}},
 }
 
 // isPrime is a deterministic Miller–Rabin test valid for all uint64.
@@ -66,8 +155,14 @@ func isPrime(n uint64) bool {
 		d /= 2
 		r++
 	}
-	// These witnesses are sufficient for all n < 2^64.
-	for _, a := range []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} {
+	witnesses := mrTiers[len(mrTiers)-1].witnesses
+	for _, tier := range mrTiers {
+		if n < tier.below {
+			witnesses = tier.witnesses
+			break
+		}
+	}
+	for _, a := range witnesses {
 		x := powMod(a%n, d, n)
 		if x == 1 || x == n-1 {
 			continue
@@ -87,27 +182,11 @@ func isPrime(n uint64) bool {
 	return true
 }
 
-func powMod(b, e, m uint64) uint64 {
-	if m == 1 {
-		return 0
-	}
-	result := uint64(1)
-	b %= m
-	for e > 0 {
-		if e&1 == 1 {
-			result = mulMod(result, b, m)
-		}
-		b = mulMod(b, b, m)
-		e >>= 1
-	}
-	return result
-}
-
-func mulMod(a, b, m uint64) uint64 {
-	hi, lo := bits.Mul64(a, b)
-	_, rem := bits.Div64(hi%m, lo, m)
-	return rem
-}
+// powMod and mulMod are inlinable wrappers over the shared implementations
+// in internal/modmath (also used by tokenset's fingerprinting, which must
+// stay bit-identical to this package's arithmetic).
+func powMod(b, e, m uint64) uint64 { return modmath.PowMod(b, e, m) }
+func mulMod(a, b, m uint64) uint64 { return modmath.MulMod(a, b, m) }
 
 // EQResult reports one equality test's outcome and its communication cost.
 type EQResult struct {
@@ -130,7 +209,10 @@ func EQTest(rng *prand.RNG, a, b *tokenset.Set, lo, hi, trials int) EQResult {
 	for i := 0; i < trials; i++ {
 		q := randomPrime(rng, limit)
 		res.Bits += costPerTrial
-		if a.HashRange(lo, hi, q) != b.HashRange(lo, hi, q) {
+		// Difference-based fingerprint comparison: same decision (and same
+		// collision probability) as comparing the two HashRange values, but
+		// words where the sets agree cost one XOR and no modular math.
+		if !tokenset.HashRangeEqual(a, b, lo, hi, q) {
 			res.Equal = false
 			return res
 		}

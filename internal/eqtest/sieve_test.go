@@ -1,0 +1,82 @@
+package eqtest
+
+// The sieve bitmap must agree with deterministic Miller–Rabin on every
+// candidate randomPrime can draw, or executions would diverge between the
+// sieve and fallback paths.
+
+import "testing"
+
+func TestSieveMatchesMillerRabin(t *testing.T) {
+	bm := primeBitmap(100_000)
+	for q := uint64(0); q <= 100_000; q++ {
+		got := bm[q>>6]&(1<<(q&63)) != 0
+		if want := isPrime(q); got != want {
+			t.Fatalf("sieve says prime(%d)=%v, Miller–Rabin says %v", q, got, want)
+		}
+	}
+}
+
+func TestWitnessTiersAgainstFullBattery(t *testing.T) {
+	// The tiered witness sets must match the full 12-witness battery (the
+	// pre-optimization behavior); spot-check a dense small range plus the
+	// edges of the first tiers.
+	full := []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}
+	mr := func(n uint64, witnesses []uint64) bool {
+		d := n - 1
+		r := 0
+		for d%2 == 0 {
+			d /= 2
+			r++
+		}
+		for _, a := range witnesses {
+			x := powMod(a%n, d, n)
+			if x == 1 || x == n-1 {
+				continue
+			}
+			composite := true
+			for i := 0; i < r-1; i++ {
+				x = mulMod(x, x, n)
+				if x == n-1 {
+					composite = false
+					break
+				}
+			}
+			if composite {
+				return false
+			}
+		}
+		return true
+	}
+	check := func(n uint64) {
+		if n < 41 { // below the first trial-division primes there is nothing to compare
+			return
+		}
+		hasSmallFactor := false
+		for _, p := range full {
+			if n%p == 0 {
+				hasSmallFactor = true
+				break
+			}
+		}
+		if hasSmallFactor {
+			return // isPrime never reaches the witness loop
+		}
+		var witnesses []uint64
+		for _, tier := range mrTiers {
+			if n < tier.below {
+				witnesses = tier.witnesses
+				break
+			}
+		}
+		if got, want := mr(n, witnesses), mr(n, full); got != want {
+			t.Fatalf("witness tier disagrees with full battery at n=%d: %v vs %v", n, got, want)
+		}
+	}
+	for n := uint64(41); n < 50_000; n++ {
+		check(n)
+	}
+	for _, edge := range []uint64{2_045, 2_046, 2_047, 2_048, 2_049,
+		1_373_651, 1_373_652, 1_373_653, 1_373_654} {
+		check(edge)
+	}
+}

@@ -1,0 +1,185 @@
+package graph
+
+// Equivalence tests for the CSR layout against a straightforward
+// adjacency-list reference: the CSR Graph must answer Neighbors / Degree /
+// HasEdge / BoundarySize exactly as the pre-CSR [][]int implementation did
+// on arbitrary edge sets (including duplicate AddEdge calls, which the old
+// map-based builder deduplicated).
+
+import (
+	"sort"
+	"testing"
+
+	"mobilegossip/internal/prand"
+)
+
+// adjListGraph is the reference implementation: the seed repo's sorted
+// adjacency-list graph, kept verbatim as a test oracle.
+type adjListGraph struct {
+	adj [][]int
+}
+
+func newAdjListGraph(n int, edges [][2]int) *adjListGraph {
+	seen := make(map[[2]int]bool)
+	adj := make([][]int, n)
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		if u > v {
+			u, v = v, u
+		}
+		if seen[[2]int{u, v}] {
+			continue
+		}
+		seen[[2]int{u, v}] = true
+		adj[u] = append(adj[u], v)
+		adj[v] = append(adj[v], u)
+	}
+	for _, l := range adj {
+		sort.Ints(l)
+	}
+	return &adjListGraph{adj: adj}
+}
+
+func (g *adjListGraph) neighbors(u int) []int { return g.adj[u] }
+func (g *adjListGraph) degree(u int) int      { return len(g.adj[u]) }
+
+func (g *adjListGraph) hasEdge(u, v int) bool {
+	l := g.adj[u]
+	i := sort.SearchInts(l, v)
+	return i < len(l) && l[i] == v
+}
+
+// boundarySize is the pre-CSR bool-slice implementation of |∂S|.
+func (g *adjListGraph) boundarySize(s []int) int {
+	in := make([]bool, len(g.adj))
+	for _, u := range s {
+		in[u] = true
+	}
+	boundary := make([]bool, len(g.adj))
+	count := 0
+	for _, u := range s {
+		for _, v := range g.adj[u] {
+			if !in[v] && !boundary[v] {
+				boundary[v] = true
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// randomEdgeSet draws a random multigraph-ish edge list (duplicates
+// included deliberately to exercise Build-time dedup).
+func randomEdgeSet(n, m int, rng *prand.RNG) [][2]int {
+	edges := make([][2]int, 0, m)
+	for len(edges) < m {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		edges = append(edges, [2]int{u, v})
+		if rng.Intn(8) == 0 { // occasional exact duplicate
+			edges = append(edges, [2]int{v, u})
+		}
+	}
+	return edges
+}
+
+func TestCSRMatchesAdjacencyList(t *testing.T) {
+	rng := prand.New(12345)
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(120)
+		m := rng.Intn(3 * n)
+		edges := randomEdgeSet(n, m, rng)
+
+		ref := newAdjListGraph(n, edges)
+		b := NewBuilder(n)
+		for _, e := range edges {
+			if err := b.AddEdge(e[0], e[1]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		g := b.Build("equiv")
+
+		if g.N() != n {
+			t.Fatalf("trial %d: N = %d, want %d", trial, g.N(), n)
+		}
+		wantEdges := 0
+		for u := 0; u < n; u++ {
+			wantEdges += ref.degree(u)
+			if got, want := g.Degree(u), ref.degree(u); got != want {
+				t.Fatalf("trial %d: Degree(%d) = %d, want %d", trial, u, got, want)
+			}
+			got := g.Neighbors(u)
+			want := ref.neighbors(u)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d: Neighbors(%d) = %v, want %v", trial, u, got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d: Neighbors(%d) = %v, want %v", trial, u, got, want)
+				}
+			}
+			adj := g.Adjacency(u)
+			for i := range want {
+				if int(adj[i]) != want[i] {
+					t.Fatalf("trial %d: Adjacency(%d) = %v, want %v", trial, u, adj, want)
+				}
+			}
+		}
+		if g.NumEdges() != wantEdges/2 {
+			t.Fatalf("trial %d: NumEdges = %d, want %d", trial, g.NumEdges(), wantEdges/2)
+		}
+
+		// HasEdge on a sample of pairs (all pairs for small n).
+		pairs := n * n
+		if pairs > 2000 {
+			pairs = 2000
+		}
+		for i := 0; i < pairs; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if got, want := g.HasEdge(u, v), ref.hasEdge(u, v); got != want {
+				t.Fatalf("trial %d: HasEdge(%d,%d) = %v, want %v", trial, u, v, got, want)
+			}
+		}
+
+		// BoundarySize on random subsets.
+		for i := 0; i < 20; i++ {
+			size := 1 + rng.Intn(n)
+			perm := rng.Perm(n)
+			s := perm[:size]
+			if got, want := g.BoundarySize(s), ref.boundarySize(s); got != want {
+				t.Fatalf("trial %d: BoundarySize(%v) = %d, want %d", trial, s, got, want)
+			}
+		}
+	}
+}
+
+// TestRelabelMatchesEdgeRebuild pins Relabel to the reference
+// Edges-and-rebuild path it replaced.
+func TestRelabelMatchesEdgeRebuild(t *testing.T) {
+	rng := prand.New(777)
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + rng.Intn(60)
+		g := GNP(n, 0.15, rng)
+		perm := rng.Perm(n)
+
+		want := NewBuilder(n)
+		for _, e := range g.Edges() {
+			_ = want.AddEdge(perm[e[0]], perm[e[1]])
+		}
+		wg := want.Build("ref")
+		got := g.Relabel(perm, "ref")
+		for u := 0; u < n; u++ {
+			a, b := got.Neighbors(u), wg.Neighbors(u)
+			if len(a) != len(b) {
+				t.Fatalf("trial %d: Relabel Neighbors(%d) = %v, want %v", trial, u, a, b)
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("trial %d: Relabel Neighbors(%d) = %v, want %v", trial, u, a, b)
+				}
+			}
+		}
+	}
+}

@@ -24,7 +24,7 @@ func (g *Graph) boundarySizeMask(mask uint64) int {
 		if mask&(1<<uint(u)) == 0 {
 			continue
 		}
-		for _, v := range g.adj[u] {
+		for _, v := range g.Adjacency(u) {
 			if mask&(1<<uint(v)) == 0 {
 				boundary |= 1 << uint(v)
 			}
@@ -33,21 +33,25 @@ func (g *Graph) boundarySizeMask(mask uint64) int {
 	return bits.OnesCount64(boundary)
 }
 
-// BoundarySize returns |∂S| for an explicit vertex subset.
+// BoundarySize returns |∂S| for an explicit vertex subset. The membership
+// and boundary indicators are word-packed bitsets (⌈n/64⌉ words each, not
+// n bools), so the local-search inner loop of EstimateVertexExpansion stays
+// cache-resident on large graphs.
 func (g *Graph) BoundarySize(s []int) int {
-	in := make([]bool, g.N())
+	nw := (g.N() + 63) / 64
+	in := make([]uint64, nw)
 	for _, u := range s {
-		in[u] = true
+		in[u>>6] |= 1 << uint(u&63)
 	}
-	boundary := make([]bool, g.N())
-	count := 0
+	boundary := make([]uint64, nw)
 	for _, u := range s {
-		for _, v := range g.adj[u] {
-			if !in[v] && !boundary[v] {
-				boundary[v] = true
-				count++
-			}
+		for _, v := range g.Adjacency(u) {
+			boundary[v>>6] |= 1 << uint(v&63)
 		}
+	}
+	count := 0
+	for i, w := range boundary {
+		count += bits.OnesCount64(w &^ in[i])
 	}
 	return count
 }

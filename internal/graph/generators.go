@@ -2,13 +2,14 @@ package graph
 
 import (
 	"fmt"
+	"sort"
 
 	"mobilegossip/internal/prand"
 )
 
 // Path returns the path graph P_n.
 func Path(n int) *Graph {
-	b := NewBuilder(n)
+	b := NewBuilderCap(n, n)
 	for i := 0; i+1 < n; i++ {
 		_ = b.AddEdge(i, i+1)
 	}
@@ -21,7 +22,7 @@ func Cycle(n int) *Graph {
 	if n < 3 {
 		return Path(n)
 	}
-	b := NewBuilder(n)
+	b := NewBuilderCap(n, n)
 	for i := 0; i < n; i++ {
 		_ = b.AddEdge(i, (i+1)%n)
 	}
@@ -41,7 +42,7 @@ func Complete(n int) *Graph {
 
 // Star returns the star S_n: vertex 0 is the hub joined to 1..n-1.
 func Star(n int) *Graph {
-	b := NewBuilder(n)
+	b := NewBuilderCap(n, n)
 	for i := 1; i < n; i++ {
 		_ = b.AddEdge(0, i)
 	}
@@ -53,7 +54,7 @@ func Star(n int) *Graph {
 // (plus remainder) private leaves. It is the worst case for blind
 // (b = 0) connection strategies.
 func DoubleStar(n int) *Graph {
-	b := NewBuilder(n)
+	b := NewBuilderCap(n, n)
 	if n >= 2 {
 		_ = b.AddEdge(0, 1)
 	}
@@ -66,7 +67,7 @@ func DoubleStar(n int) *Graph {
 
 // Grid returns the rows×cols grid graph.
 func Grid(rows, cols int) *Graph {
-	b := NewBuilder(rows * cols)
+	b := NewBuilderCap(rows*cols, 2*rows*cols)
 	id := func(r, c int) int { return r*cols + c }
 	for r := 0; r < rows; r++ {
 		for c := 0; c < cols; c++ {
@@ -84,7 +85,7 @@ func Grid(rows, cols int) *Graph {
 // Hypercube returns the d-dimensional hypercube on 2^d vertices.
 func Hypercube(d int) *Graph {
 	n := 1 << uint(d)
-	b := NewBuilder(n)
+	b := NewBuilderCap(n, n*d/2)
 	for u := 0; u < n; u++ {
 		for bit := 0; bit < d; bit++ {
 			v := u ^ (1 << uint(bit))
@@ -200,7 +201,7 @@ func tryPairing(n, d int, rng *prand.RNG) (*Graph, bool) {
 		j := rng.Intn(i + 1)
 		stubs[i], stubs[j] = stubs[j], stubs[i]
 	}
-	b := NewBuilder(n)
+	b := NewBuilderCap(n, n*d/2)
 	seen := make(map[[2]int]bool, n*d/2)
 	for i := 0; i+1 < len(stubs); i += 2 {
 		u, v := stubs[i], stubs[i+1]
@@ -222,12 +223,159 @@ func tryPairing(n, d int, rng *prand.RNG) (*Graph, bool) {
 // Circulant returns the circulant graph C_n(1, 2, ..., ⌈d/2⌉): each vertex i
 // is joined to i±s (mod n) for s = 1..⌈d/2⌉. Degree ≈ d; always connected.
 func Circulant(n, d int) *Graph {
-	b := NewBuilder(n)
 	half := (d + 1) / 2
+	b := NewBuilderCap(n, n*half)
 	for i := 0; i < n; i++ {
 		for s := 1; s <= half && s < n; s++ {
 			_ = b.AddEdge(i, (i+s)%n)
 		}
 	}
 	return b.Build(fmt.Sprintf("circulant(%d,%d)", n, d))
+}
+
+// RandomGeometric returns a connected random geometric graph RGG(n, r):
+// n points placed uniformly in the unit square, joined when within
+// Euclidean distance r. A spatial cell grid of side r makes construction
+// O(n + m), so million-node instances build in seconds — the standard model
+// for smartphone crowds with fixed radio range (a metropolis scenario).
+// If the distance graph is disconnected (r below the ~√(ln n/(πn))
+// connectivity threshold), a path over the points sorted by (x, y) is added
+// as a deterministic backbone, mirroring the GNP connectivity patch.
+func RandomGeometric(n int, r float64, rng *prand.RNG) *Graph {
+	if r <= 0 {
+		r = 1e-9
+	}
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = rng.Float64()
+		ys[i] = rng.Float64()
+	}
+	// Bucket points into a grid of side r; only the 3×3 cell neighborhood
+	// can contain points within distance r.
+	side := int(1 / r)
+	if side < 1 {
+		side = 1
+	}
+	if side > n {
+		side = n // no point in more cells than points
+	}
+	cellOf := func(i int) (int, int) {
+		cx := int(xs[i] * float64(side))
+		cy := int(ys[i] * float64(side))
+		if cx >= side {
+			cx = side - 1
+		}
+		if cy >= side {
+			cy = side - 1
+		}
+		return cx, cy
+	}
+	// CSR-style bucketing of points into cells: counts, prefix sums, fill.
+	cells := side * side
+	cellOff := make([]int32, cells+1)
+	for i := 0; i < n; i++ {
+		cx, cy := cellOf(i)
+		cellOff[cy*side+cx+1]++
+	}
+	for c := 1; c <= cells; c++ {
+		cellOff[c] += cellOff[c-1]
+	}
+	cellPts := make([]int32, n)
+	cursor := make([]int32, cells)
+	for i := 0; i < n; i++ {
+		cx, cy := cellOf(i)
+		c := cy*side + cx
+		cellPts[cellOff[c]+cursor[c]] = int32(i)
+		cursor[c]++
+	}
+	r2 := r * r
+	b := NewBuilderCap(n, n) // grows if the graph is denser
+	for i := 0; i < n; i++ {
+		cx, cy := cellOf(i)
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				nx, ny := cx+dx, cy+dy
+				if nx < 0 || ny < 0 || nx >= side || ny >= side {
+					continue
+				}
+				c := ny*side + nx
+				for _, j32 := range cellPts[cellOff[c]:cellOff[c+1]] {
+					j := int(j32)
+					if j <= i {
+						continue // each pair once
+					}
+					ddx, ddy := xs[i]-xs[j], ys[i]-ys[j]
+					if ddx*ddx+ddy*ddy <= r2 {
+						_ = b.AddEdge(i, j)
+					}
+				}
+			}
+		}
+	}
+	g := b.Build(fmt.Sprintf("rgg(%d,%.3f)", n, r))
+	if g.Connected() {
+		return g
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, c int) bool {
+		if xs[order[a]] != xs[order[c]] {
+			return xs[order[a]] < xs[order[c]]
+		}
+		return ys[order[a]] < ys[order[c]]
+	})
+	for i := 0; i+1 < n; i++ {
+		_ = b.AddEdge(order[i], order[i+1])
+	}
+	return b.Build(fmt.Sprintf("rgg(%d,%.3f)+path", n, r))
+}
+
+// PreferentialAttachment returns a Barabási–Albert graph: a seed clique on
+// m+1 vertices, then each new vertex attaches m edges to existing vertices
+// chosen proportionally to their degree. Sampling uses the repeated-endpoint
+// list (each edge contributes both endpoints), so construction is O(n·m)
+// and the result is connected by construction with a heavy-tailed degree
+// distribution — the classic model for social/contact networks.
+func PreferentialAttachment(n, m int, rng *prand.RNG) *Graph {
+	if m < 1 {
+		m = 1
+	}
+	if m >= n {
+		m = n - 1
+	}
+	b := NewBuilderCap(n, m*(m+1)/2+(n-m-1)*m)
+	// endpoints holds every edge's two endpoints; sampling a uniform element
+	// is degree-proportional sampling.
+	endpoints := make([]int32, 0, 2*(m*(m+1)/2+(n-m-1)*m))
+	for i := 0; i <= m && i < n; i++ {
+		for j := i + 1; j <= m && j < n; j++ {
+			_ = b.AddEdge(i, j)
+			endpoints = append(endpoints, int32(i), int32(j))
+		}
+	}
+	chosen := make([]int32, 0, m)
+	for v := m + 1; v < n; v++ {
+		chosen = chosen[:0]
+		for len(chosen) < m {
+			t := endpoints[rng.Intn(len(endpoints))]
+			dup := false
+			for _, c := range chosen {
+				if c == t {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				chosen = append(chosen, t)
+			}
+		}
+		for _, t := range chosen {
+			_ = b.AddEdge(v, int(t))
+			endpoints = append(endpoints, int32(v), t)
+		}
+	}
+	return b.Build(fmt.Sprintf("pa(%d,%d)", n, m))
 }

@@ -1,0 +1,93 @@
+package graph
+
+// Large-graph generator tests: RandomGeometric and PreferentialAttachment
+// must build connected 100k-node topologies quickly. Guarded by -short so
+// the race-mode CI job and quick local loops skip them; the full test job
+// runs them.
+
+import (
+	"math"
+	"testing"
+
+	"mobilegossip/internal/prand"
+)
+
+func TestRandomGeometricSmall(t *testing.T) {
+	rng := prand.New(42)
+	for _, n := range []int{2, 10, 100, 500} {
+		r := 1.5 * math.Sqrt(math.Log(float64(n)+2)/(math.Pi*float64(n)))
+		g := RandomGeometric(n, r, rng)
+		if g.N() != n {
+			t.Fatalf("n=%d: N() = %d", n, g.N())
+		}
+		if !g.Connected() {
+			t.Fatalf("n=%d: RGG not connected (backbone patch failed)", n)
+		}
+		// Simple graph invariants.
+		for u := 0; u < n; u++ {
+			adj := g.Adjacency(u)
+			for i, v := range adj {
+				if int(v) == u {
+					t.Fatalf("n=%d: self-loop at %d", n, u)
+				}
+				if i > 0 && adj[i-1] >= v {
+					t.Fatalf("n=%d: adjacency of %d not sorted/unique: %v", n, u, adj)
+				}
+				if !g.HasEdge(int(v), u) {
+					t.Fatalf("n=%d: edge (%d,%d) not mirrored", n, u, v)
+				}
+			}
+		}
+	}
+}
+
+func TestPreferentialAttachmentSmall(t *testing.T) {
+	rng := prand.New(43)
+	for _, tc := range []struct{ n, m int }{{2, 1}, {10, 2}, {100, 3}, {500, 4}} {
+		g := PreferentialAttachment(tc.n, tc.m, rng)
+		if g.N() != tc.n {
+			t.Fatalf("n=%d: N() = %d", tc.n, g.N())
+		}
+		if !g.Connected() {
+			t.Fatalf("n=%d m=%d: PA not connected", tc.n, tc.m)
+		}
+		// Every non-seed vertex attaches exactly m edges, so min degree ≥ m
+		// (seed clique vertices have ≥ m too for m < n).
+		for u := 0; u < tc.n; u++ {
+			if g.Degree(u) < tc.m && tc.n > tc.m+1 {
+				t.Fatalf("n=%d m=%d: degree(%d) = %d < m", tc.n, tc.m, u, g.Degree(u))
+			}
+		}
+	}
+}
+
+func TestLargeGenerators100k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping 100k-node generator tests in -short mode")
+	}
+	const n = 100_000
+	rng := prand.New(7)
+
+	// Radius just above the connectivity threshold keeps m ≈ n·ln n small
+	// enough to build fast while usually avoiding the backbone patch.
+	r := 1.5 * math.Sqrt(math.Log(n)/(math.Pi*n))
+	g := RandomGeometric(n, r, rng)
+	if g.N() != n || !g.Connected() {
+		t.Fatalf("RGG(100k): N=%d connected=%v", g.N(), g.Connected())
+	}
+	if d := g.MaxDegree(); d < 3 || d > 200 {
+		t.Fatalf("RGG(100k): implausible max degree %d", d)
+	}
+
+	pa := PreferentialAttachment(n, 3, rng)
+	if pa.N() != n || !pa.Connected() {
+		t.Fatalf("PA(100k): N=%d connected=%v", pa.N(), pa.Connected())
+	}
+	if want := 6 + 3*(n-4); pa.NumEdges() != want { // seed K₄ + m per later vertex
+		t.Fatalf("PA(100k): NumEdges = %d, want %d", pa.NumEdges(), want)
+	}
+	// The hub-heavy tail is the point of PA: the max degree must dwarf m.
+	if d := pa.MaxDegree(); d < 50 {
+		t.Fatalf("PA(100k): max degree %d lacks the heavy tail", d)
+	}
+}

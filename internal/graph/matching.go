@@ -34,7 +34,8 @@ func (g *Graph) BoundaryBipartite(s []int) *Bipartite {
 			continue
 		}
 		var adj []int
-		for _, v := range g.adj[u] {
+		for _, v := range g.Adjacency(u) {
+			v := int(v)
 			if inS[v] {
 				continue
 			}

@@ -1,0 +1,38 @@
+// Package modmath holds the modular arithmetic shared by the Rabin
+// fingerprinting in internal/tokenset and the Miller–Rabin primality
+// testing in internal/eqtest. The two call sites must use bit-identical
+// arithmetic — fingerprint values and primality decisions drive the
+// simulator's byte-reproducible executions — so the implementation lives
+// here exactly once.
+package modmath
+
+import "math/bits"
+
+// PowMod computes b^e mod m by repeated squaring.
+func PowMod(b, e, m uint64) uint64 {
+	if m == 1 {
+		return 0
+	}
+	result := uint64(1)
+	b %= m
+	for e > 0 {
+		if e&1 == 1 {
+			result = MulMod(result, b, m)
+		}
+		b = MulMod(b, b, m)
+		e >>= 1
+	}
+	return result
+}
+
+// MulMod returns a*b mod m. For m < 2^32 the reduced operands fit a plain
+// 64-bit multiply, which is ~5× cheaper than the 128-bit Mul64/Div64 path
+// taken for larger moduli.
+func MulMod(a, b, m uint64) uint64 {
+	if m < 1<<32 {
+		return (a % m) * (b % m) % m
+	}
+	hi, lo := bits.Mul64(a, b)
+	_, rem := bits.Div64(hi%m, lo, m)
+	return rem
+}

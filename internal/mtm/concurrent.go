@@ -16,6 +16,8 @@ import (
 // executions — verified by TestBackendsIdentical.
 
 // decideConcurrent runs the scan+decide phase across worker goroutines.
+// Each worker's scan view is a persistent per-engine buffer, so steady-state
+// rounds only pay the goroutine spawns.
 func (e *Engine) decideConcurrent(r int, g *graph.Graph, tags []uint64, acts []Action) {
 	n := g.N()
 	workers := runtime.GOMAXPROCS(0)
@@ -24,6 +26,9 @@ func (e *Engine) decideConcurrent(r int, g *graph.Graph, tags []uint64, acts []A
 	}
 	if workers < 1 {
 		workers = 1
+	}
+	for len(e.views) < workers {
+		e.views = append(e.views, make([]Neighbor, 0, 64))
 	}
 	var wg sync.WaitGroup
 	chunk := (n + workers - 1) / workers
@@ -37,46 +42,47 @@ func (e *Engine) decideConcurrent(r int, g *graph.Graph, tags []uint64, acts []A
 			break
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(w, lo, hi int) {
 			defer wg.Done()
-			view := make([]Neighbor, 0, 64)
+			view := e.views[w]
 			for u := lo; u < hi; u++ {
 				view = view[:0]
-				for _, v := range g.Neighbors(u) {
-					view = append(view, Neighbor{ID: v, Tag: tags[v]})
+				for _, v := range g.Adjacency(u) {
+					view = append(view, Neighbor{ID: int(v), Tag: tags[v]})
 				}
 				acts[u] = e.proto.Decide(r, u, view, e.rngs[u])
 			}
-		}(lo, hi)
+			e.views[w] = view[:0] // keep any growth for the next round
+		}(w, lo, hi)
 	}
 	wg.Wait()
 }
 
 // exchangeConcurrent runs all per-connection exchanges in parallel.
-func (e *Engine) exchangeConcurrent(r int, conns []*Conn) {
+func (e *Engine) exchangeConcurrent(r int, conns []Conn) {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(conns) {
 		workers = len(conns)
 	}
 	if workers <= 1 {
-		for _, c := range conns {
-			e.proto.Exchange(r, c)
+		for i := range conns {
+			e.proto.Exchange(r, &conns[i])
 		}
 		return
 	}
 	var wg sync.WaitGroup
-	next := make(chan *Conn)
+	next := make(chan int, workers)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for c := range next {
-				e.proto.Exchange(r, c)
+			for i := range next {
+				e.proto.Exchange(r, &conns[i])
 			}
 		}()
 	}
-	for _, c := range conns {
-		next <- c
+	for i := range conns {
+		next <- i
 	}
 	close(next)
 	wg.Wait()

@@ -156,11 +156,30 @@ type Result struct {
 }
 
 // Engine drives a Protocol over a dynamic topology.
+//
+// All per-round working state lives in scratch buffers owned by the engine
+// and allocated once in NewEngine: tag and action arrays, the flat proposal
+// inbox (CSR-style counts + offsets + one backing array), the accepted
+// connection pairs, and the Conn records themselves. The round loop
+// therefore performs zero steady-state heap allocations — see DESIGN.md
+// §"Scratch-buffer lifecycle".
 type Engine struct {
 	dyn   dyngraph.Dynamic
 	proto Protocol
 	cfg   Config
 	rngs  []*prand.RNG
+
+	// Per-round scratch, reused across rounds (sized to n once).
+	tags    []uint64 // advertised tags, by node
+	acts    []Action // decisions, by node
+	targets []int32  // validated proposal target per node (-1 = none)
+	inCnt   []int32  // valid proposals per target node
+	inOff   []int32  // prefix offsets into inbox (len n+1)
+	inbox   []int32  // flat proposal inbox: proposers grouped by target
+	pairs   [][2]int32
+	conns   []Conn
+	view    []Neighbor   // sequential-backend scan view
+	views   [][]Neighbor // concurrent-backend per-worker scan views
 }
 
 // ErrBudgetExceeded is returned when any connection exceeded its
@@ -184,7 +203,17 @@ func NewEngine(dyn dyngraph.Dynamic, proto Protocol, cfg Config) *Engine {
 	if cfg.TokenLimit <= 0 {
 		cfg.TokenLimit = 4
 	}
-	e := &Engine{dyn: dyn, proto: proto, cfg: cfg, rngs: make([]*prand.RNG, n)}
+	e := &Engine{dyn: dyn, proto: proto, cfg: cfg, rngs: make([]*prand.RNG, n),
+		tags:    make([]uint64, n),
+		acts:    make([]Action, n),
+		targets: make([]int32, n),
+		inCnt:   make([]int32, n),
+		inOff:   make([]int32, n+1),
+		inbox:   make([]int32, n),
+		pairs:   make([][2]int32, 0, n/2+1),
+		conns:   make([]Conn, 0, n/2+1),
+		view:    make([]Neighbor, 0, 64),
+	}
 	for u := 0; u < n; u++ {
 		e.rngs[u] = prand.New(prand.Mix64(cfg.Seed ^ (uint64(u)+1)*0xd6e8feb86659fd93))
 	}
@@ -212,9 +241,7 @@ func (e *Engine) Run() (Result, error) {
 			tagMask = (uint64(1) << uint(b)) - 1
 		}
 	}
-	tags := make([]uint64, n)
-	acts := make([]Action, n)
-	incoming := make([][]NodeID, n)
+	tags, acts := e.tags, e.acts
 	overBudget := false
 
 	for r := 1; r <= e.cfg.MaxRounds; r++ {
@@ -233,20 +260,26 @@ func (e *Engine) Run() (Result, error) {
 		if e.cfg.Concurrent {
 			e.decideConcurrent(r, g, tags, acts)
 		} else {
-			view := make([]Neighbor, 0, 64)
+			view := e.view
 			for u := 0; u < n; u++ {
 				view = view[:0]
-				for _, v := range g.Neighbors(u) {
-					view = append(view, Neighbor{ID: v, Tag: tags[v]})
+				for _, v := range g.Adjacency(u) {
+					view = append(view, Neighbor{ID: int(v), Tag: tags[v]})
 				}
 				acts[u] = e.proto.Decide(r, u, view, e.rngs[u])
 			}
+			e.view = view[:0] // keep any growth for the next round
 		}
 
-		// Deliver proposals: a proposer cannot receive, and proposals to
-		// proposers are lost (the target is busy sending).
-		for u := range incoming {
-			incoming[u] = incoming[u][:0]
+		// Deliver proposals into the flat inbox: a proposer cannot receive,
+		// and proposals to proposers are lost (the target is busy sending).
+		// Pass 1 validates each proposal and counts per-target arrivals;
+		// pass 2 prefix-sums the counts into offsets and groups the
+		// proposers by target — in ascending proposer order, exactly the
+		// arrival order of the old per-target append lists.
+		for u := 0; u < n; u++ {
+			e.inCnt[u] = 0
+			e.targets[u] = -1
 		}
 		for u := 0; u < n; u++ {
 			if !acts[u].Propose {
@@ -260,39 +293,55 @@ func (e *Engine) Run() (Result, error) {
 			if acts[t].Propose {
 				continue // target is itself proposing; cannot receive
 			}
-			incoming[t] = append(incoming[t], u)
+			e.targets[u] = int32(t)
+			e.inCnt[t]++
+		}
+		e.inOff[0] = 0
+		for v := 0; v < n; v++ {
+			e.inOff[v+1] = e.inOff[v] + e.inCnt[v]
+			e.inCnt[v] = 0 // reused as the fill cursor below
+		}
+		for u := 0; u < n; u++ {
+			if t := e.targets[u]; t >= 0 {
+				e.inbox[e.inOff[t]+e.inCnt[t]] = int32(u)
+				e.inCnt[t]++
+			}
 		}
 
 		// Accept: each listener with proposals picks one uniformly with its
 		// own randomness; connections therefore form a matching.
-		type pair struct{ u, v NodeID }
-		pairs := make([]pair, 0, n/2)
+		pairs := e.pairs[:0]
 		for v := 0; v < n; v++ {
-			in := incoming[v]
+			in := e.inbox[e.inOff[v]:e.inOff[v+1]]
 			if len(in) == 0 {
 				continue
 			}
 			u := in[e.rngs[v].Intn(len(in))]
-			pairs = append(pairs, pair{u, v})
+			pairs = append(pairs, [2]int32{u, int32(v)})
 		}
+		e.pairs = pairs[:0] // keep any growth for the next round
 
-		// Communicate over each accepted connection.
-		conns := make([]*Conn, len(pairs))
-		for i, p := range pairs {
-			conns[i] = &Conn{
-				Round: r, Initiator: p.u, Responder: p.v,
-				InitRNG: e.rngs[p.u], RespRNG: e.rngs[p.v],
+		// Communicate over each accepted connection; the Conn records live
+		// in the engine's reusable slice.
+		conns := e.conns[:0]
+		for _, p := range pairs {
+			u, v := int(p[0]), int(p[1])
+			conns = append(conns, Conn{
+				Round: r, Initiator: u, Responder: v,
+				InitRNG: e.rngs[u], RespRNG: e.rngs[v],
 				bitLimit: e.cfg.BitLimit, tokenLimit: e.cfg.TokenLimit,
-			}
+			})
 		}
+		e.conns = conns[:0] // keep any growth for the next round
 		if e.cfg.Concurrent {
 			e.exchangeConcurrent(r, conns)
 		} else {
-			for _, c := range conns {
-				e.proto.Exchange(r, c)
+			for i := range conns {
+				e.proto.Exchange(r, &conns[i])
 			}
 		}
-		for _, c := range conns {
+		for i := range conns {
+			c := &conns[i]
 			res.Connections++
 			res.ControlBits += int64(c.bitsUsed)
 			res.TokensMoved += int64(c.tokensUsed)

@@ -1,0 +1,87 @@
+package tokenset
+
+// Tests pinning the fingerprint fast paths to their reference definitions:
+// HashRange's incremental powers and span clipping against the naive
+// per-token powMod sum, and HashRangeEqual's difference-based comparison
+// against comparing two full fingerprints (collision behavior included —
+// tiny moduli make collisions frequent below).
+
+import (
+	"testing"
+
+	"mobilegossip/internal/prand"
+)
+
+// naiveHashRange is the pre-optimization definition kept as a test oracle.
+func naiveHashRange(s *Set, lo, hi int, q uint64) uint64 {
+	if lo < 1 {
+		lo = 1
+	}
+	if hi > s.n {
+		hi = s.n
+	}
+	var sum uint64
+	for t := 1; t <= s.n; t++ {
+		if t < lo || t > hi || !s.Has(t) {
+			continue
+		}
+		sum = (sum + powMod(2, uint64(t), q)) % q
+	}
+	return sum
+}
+
+func randomSetPair(n int, rng *prand.RNG) (*Set, *Set) {
+	a, b := NewSet(n), NewSet(n)
+	for t := 1; t <= n; t++ {
+		switch rng.Intn(5) {
+		case 0:
+			a.Add(t)
+		case 1:
+			b.Add(t)
+		case 2:
+			a.Add(t)
+			b.Add(t)
+		}
+	}
+	return a, b
+}
+
+func TestHashRangeMatchesNaive(t *testing.T) {
+	rng := prand.New(31337)
+	qs := []uint64{2, 3, 5, 97, 65537, 4294967311} // incl. q > 2^32
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(300)
+		a, _ := randomSetPair(n, rng)
+		for i := 0; i < 10; i++ {
+			lo := 1 + rng.Intn(n)
+			hi := 1 + rng.Intn(n)
+			q := qs[rng.Intn(len(qs))]
+			if got, want := a.HashRange(lo, hi, q), naiveHashRange(a, lo, hi, q); got != want {
+				t.Fatalf("HashRange(%d,%d,%d) = %d, want %d (n=%d)", lo, hi, q, got, want, n)
+			}
+		}
+	}
+}
+
+func TestHashRangeEqualMatchesFingerprintComparison(t *testing.T) {
+	rng := prand.New(99991)
+	// Small moduli make fingerprint collisions (unequal restrictions with
+	// equal hashes) common, exercising the "equal by collision" branch that
+	// the difference-based path must reproduce exactly.
+	qs := []uint64{2, 3, 5, 7, 11, 127, 1_000_003, 4294967311}
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(400)
+		a, b := randomSetPair(n, rng)
+		for i := 0; i < 12; i++ {
+			lo := 1 + rng.Intn(n)
+			hi := 1 + rng.Intn(n)
+			q := qs[rng.Intn(len(qs))]
+			got := HashRangeEqual(a, b, lo, hi, q)
+			want := a.HashRange(lo, hi, q) == b.HashRange(lo, hi, q)
+			if got != want {
+				t.Fatalf("HashRangeEqual(%d,%d,%d) = %v, want %v (n=%d)",
+					lo, hi, q, got, want, n)
+			}
+		}
+	}
+}

@@ -6,19 +6,69 @@
 // symmetric-difference operations used by Transfer(ε) are cheap.
 package tokenset
 
-import "math/bits"
+import (
+	"math/bits"
+
+	"mobilegossip/internal/modmath"
+)
 
 // Set is a set of token ids in [1, N]. The zero value of Set is not usable;
-// construct with NewSet. Sets only grow: the model has no token loss.
+// construct with NewSet (or carve many sets out of one allocation with
+// NewArena). Sets only grow: the model has no token loss.
+//
+// The set tracks the word range [minW, maxW] that holds its bits, so
+// iteration and fingerprinting scan only the occupied span — on the paper's
+// canonical workloads token ids cluster in [1, k] while the universe is n,
+// making this the difference between O(k/64) and O(n/64) per scan.
 type Set struct {
 	words []uint64
 	n     int // universe upper bound N
 	count int
+	minW  int // lowest nonzero word index (valid when count > 0)
+	maxW  int // highest nonzero word index (valid when count > 0)
 }
+
+// setWords returns the word count backing a universe-n set.
+func setWords(n int) int { return (n+64)/64 + 1 }
 
 // NewSet returns an empty token set over the universe [1, n].
 func NewSet(n int) *Set {
-	return &Set{words: make([]uint64, (n+64)/64+1), n: n}
+	return &Set{words: make([]uint64, setWords(n)), n: n}
+}
+
+// Arena is a flat backing store for the per-node token sets of a whole
+// simulation: one []uint64 allocation holds every node's bitset
+// back-to-back, indexed by NodeID. This removes n separate set allocations
+// and gives the round loop's per-node scans (advertise, Done) a single
+// contiguous memory layout.
+type Arena struct {
+	words []uint64
+	sets  []Set
+}
+
+// NewArena returns an arena of `nodes` empty sets over the universe [1, n].
+func NewArena(nodes, n int) *Arena {
+	per := setWords(n)
+	a := &Arena{words: make([]uint64, nodes*per), sets: make([]Set, nodes)}
+	for i := range a.sets {
+		a.sets[i] = Set{words: a.words[i*per : (i+1)*per : (i+1)*per], n: n}
+	}
+	return a
+}
+
+// Len returns the number of sets in the arena.
+func (a *Arena) Len() int { return len(a.sets) }
+
+// Set returns set i (live, arena-backed).
+func (a *Arena) Set(i int) *Set { return &a.sets[i] }
+
+// Sets returns pointers to every arena set, indexed by NodeID.
+func (a *Arena) Sets() []*Set {
+	out := make([]*Set, len(a.sets))
+	for i := range a.sets {
+		out[i] = &a.sets[i]
+	}
+	return out
 }
 
 // Universe returns the universe bound N.
@@ -32,6 +82,16 @@ func (s *Set) Add(t int) {
 	}
 	w, b := t/64, uint(t%64)
 	if s.words[w]&(1<<b) == 0 {
+		if s.count == 0 {
+			s.minW, s.maxW = w, w
+		} else {
+			if w < s.minW {
+				s.minW = w
+			}
+			if w > s.maxW {
+				s.maxW = w
+			}
+		}
 		s.words[w] |= 1 << b
 		s.count++
 	}
@@ -50,7 +110,8 @@ func (s *Set) Len() int { return s.count }
 
 // Clone returns an independent copy of the set.
 func (s *Set) Clone() *Set {
-	c := &Set{words: make([]uint64, len(s.words)), n: s.n, count: s.count}
+	c := &Set{words: make([]uint64, len(s.words)), n: s.n, count: s.count,
+		minW: s.minW, maxW: s.maxW}
 	copy(c.words, s.words)
 	return c
 }
@@ -71,7 +132,11 @@ func (s *Set) Equal(o *Set) bool {
 // Tokens returns the tokens in increasing order.
 func (s *Set) Tokens() []int {
 	out := make([]int, 0, s.count)
-	for wi, w := range s.words {
+	if s.count == 0 {
+		return out
+	}
+	for wi := s.minW; wi <= s.maxW; wi++ {
+		w := s.words[wi]
 		for w != 0 {
 			b := bits.TrailingZeros64(w)
 			out = append(out, wi*64+b)
@@ -83,7 +148,11 @@ func (s *Set) Tokens() []int {
 
 // ForEach calls f for every token in increasing order without allocating.
 func (s *Set) ForEach(f func(token int)) {
-	for wi, w := range s.words {
+	if s.count == 0 {
+		return
+	}
+	for wi := s.minW; wi <= s.maxW; wi++ {
+		w := s.words[wi]
 		for w != 0 {
 			b := bits.TrailingZeros64(w)
 			f(wi*64 + b)
@@ -133,6 +202,12 @@ func (s *Set) CountRange(lo, hi int) int {
 
 // HashRange returns Σ_{t ∈ s ∩ [lo,hi]} 2^t mod q — the Rabin fingerprint of
 // the restriction of the set to [lo, hi], used by EQTest. q must be > 1.
+//
+// The powers of two are computed incrementally — 2^(64·wi) is carried from
+// word to word with one modular multiply, and each token adds
+// 2^(64·wi)·2^b mod q — instead of a full powMod per token, and the scan is
+// clipped to the set's occupied word span. Values are identical to the
+// naive per-token powMod definition.
 func (s *Set) HashRange(lo, hi int, q uint64) uint64 {
 	if lo < 1 {
 		lo = 1
@@ -140,8 +215,23 @@ func (s *Set) HashRange(lo, hi int, q uint64) uint64 {
 	if hi > s.n {
 		hi = s.n
 	}
+	if s.count == 0 || hi < lo {
+		return 0
+	}
+	wlo, whi := lo/64, hi/64
+	if wlo < s.minW {
+		wlo = s.minW
+	}
+	if whi > s.maxW {
+		whi = s.maxW
+	}
+	if whi < wlo {
+		return 0
+	}
+	pow64 := powMod(2, 64, q)
+	base := powMod(2, uint64(wlo)*64, q) // 2^(64·wlo) mod q
 	var sum uint64
-	for wi := lo / 64; wi <= hi/64 && wi < len(s.words); wi++ {
+	for wi := wlo; wi <= whi; wi++ {
 		w := s.words[wi]
 		for w != 0 {
 			b := bits.TrailingZeros64(w)
@@ -150,33 +240,106 @@ func (s *Set) HashRange(lo, hi int, q uint64) uint64 {
 			if t < lo || t > hi {
 				continue
 			}
-			sum = (sum + powMod(2, uint64(t), q)) % q
+			sum = (sum + mulMod(base, (uint64(1)<<uint(b))%q, q)) % q
 		}
+		base = mulMod(base, pow64, q)
 	}
 	return sum
 }
 
-// powMod computes b^e mod m without overflow for m < 2^32 via repeated
-// squaring, and for larger m via 128-bit multiplication.
-func powMod(b, e, m uint64) uint64 {
-	if m == 1 {
-		return 0
+// HashRangeEqual reports whether a.HashRange(lo, hi, q) == b.HashRange(lo,
+// hi, q) without computing either fingerprint: the contribution of tokens
+// common to both sets cancels from the two sums, so only words of the
+// symmetric difference need modular arithmetic — words where the sets agree
+// are skipped with one XOR. EQTest's equal-range trials (the expensive,
+// full-trial-count case) therefore cost a word scan and no modmuls, while
+// the equality decision — including the fingerprint-collision probability —
+// is identical to comparing the two HashRange values.
+func HashRangeEqual(a, b *Set, lo, hi int, q uint64) bool {
+	if lo < 1 {
+		lo = 1
 	}
-	result := uint64(1)
-	b %= m
-	for e > 0 {
-		if e&1 == 1 {
-			result = mulMod(result, b, m)
+	if hi > a.n {
+		hi = a.n
+	}
+	if hi < lo {
+		return true
+	}
+	wlo, whi := lo/64, hi/64
+	// Words outside both occupied spans are zero in both sets.
+	spanLo, spanHi := wlo, whi
+	if a.count == 0 && b.count == 0 {
+		return true
+	}
+	switch {
+	case a.count == 0:
+		if spanLo < b.minW {
+			spanLo = b.minW
 		}
-		b = mulMod(b, b, m)
-		e >>= 1
+		if spanHi > b.maxW {
+			spanHi = b.maxW
+		}
+	case b.count == 0:
+		if spanLo < a.minW {
+			spanLo = a.minW
+		}
+		if spanHi > a.maxW {
+			spanHi = a.maxW
+		}
+	default:
+		if lo2 := min(a.minW, b.minW); spanLo < lo2 {
+			spanLo = lo2
+		}
+		if hi2 := max(a.maxW, b.maxW); spanHi > hi2 {
+			spanHi = hi2
+		}
 	}
-	return result
+	loMask := ^uint64(0) << uint(lo&63)
+	hiMask := ^uint64(0) >> uint(63-hi&63)
+	var sumA, sumB, base, pow64 uint64
+	lastWi := -1 // word index `base` corresponds to; -1 = not yet computed
+	for wi := spanLo; wi <= spanHi; wi++ {
+		wa, wb := a.words[wi], b.words[wi]
+		if wi == wlo {
+			wa &= loMask
+			wb &= loMask
+		}
+		if wi == whi {
+			wa &= hiMask
+			wb &= hiMask
+		}
+		d := wa ^ wb
+		if d == 0 {
+			continue
+		}
+		switch {
+		case lastWi < 0:
+			base = powMod(2, uint64(wi)*64, q)
+		case wi == lastWi+1:
+			if pow64 == 0 {
+				pow64 = powMod(2, 64, q)
+			}
+			base = mulMod(base, pow64, q)
+		default:
+			base = mulMod(base, powMod(2, uint64(wi-lastWi)*64, q), q)
+		}
+		lastWi = wi
+		for d != 0 {
+			bit := bits.TrailingZeros64(d)
+			d &= d - 1
+			contrib := mulMod(base, (uint64(1)<<uint(bit))%q, q)
+			if wa&(1<<uint(bit)) != 0 {
+				sumA = (sumA + contrib) % q
+			} else {
+				sumB = (sumB + contrib) % q
+			}
+		}
+	}
+	return sumA == sumB
 }
 
-// mulMod returns a*b mod m using 128-bit intermediate precision.
-func mulMod(a, b, m uint64) uint64 {
-	hi, lo := bits.Mul64(a, b)
-	_, rem := bits.Div64(hi%m, lo, m)
-	return rem
-}
+// powMod and mulMod are inlinable wrappers over the shared implementations
+// in internal/modmath; the fingerprint arithmetic here and the primality
+// testing in internal/eqtest must stay bit-identical.
+func powMod(b, e, m uint64) uint64 { return modmath.PowMod(b, e, m) }
+func mulMod(a, b, m uint64) uint64 { return modmath.MulMod(a, b, m) }

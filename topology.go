@@ -26,12 +26,20 @@ const (
 	GNP
 	RandomRegular
 	Barbell
+	// RandomGeometric is RGG(n, r): uniform points in the unit square joined
+	// within distance r — smartphone crowds with a fixed radio range. Scales
+	// to millions of nodes (cell-grid construction).
+	RandomGeometric
+	// PreferentialAttachment is the Barabási–Albert contact-network model:
+	// heavy-tailed degrees, connected by construction, O(n·m) build.
+	PreferentialAttachment
 )
 
 var kindNames = map[TopologyKind]string{
 	Cycle: "cycle", Path: "path", Complete: "complete", Star: "star",
 	DoubleStar: "doublestar", Grid: "grid", Hypercube: "hypercube",
 	GNP: "gnp", RandomRegular: "regular", Barbell: "barbell",
+	RandomGeometric: "rgg", PreferentialAttachment: "pa",
 }
 
 // String returns the family name.
@@ -63,6 +71,12 @@ type Topology struct {
 	Rows, Cols int
 	// CliqueSize and PathLen parameterize Barbell.
 	CliqueSize, PathLen int
+	// Radius parameterizes RandomGeometric (default 1.5·√(ln n/(πn)), just
+	// above the connectivity threshold).
+	Radius float64
+	// Attach parameterizes PreferentialAttachment: edges added per new
+	// vertex (default 3).
+	Attach int
 }
 
 // buildStatic instantiates the topology on n vertices.
@@ -115,6 +129,18 @@ func (t Topology) buildStatic(n int, rng *prand.RNG) (*graph.Graph, error) {
 			d = 4
 		}
 		return graph.RandomRegular(n, d, rng), nil
+	case RandomGeometric:
+		r := t.Radius
+		if r <= 0 {
+			r = rggDefaultRadius(n)
+		}
+		return graph.RandomGeometric(n, r, rng), nil
+	case PreferentialAttachment:
+		m := t.Attach
+		if m <= 0 {
+			m = 3
+		}
+		return graph.PreferentialAttachment(n, m, rng), nil
 	case Barbell:
 		m := t.CliqueSize
 		pl := t.PathLen
@@ -132,6 +158,15 @@ func (t Topology) buildStatic(n int, rng *prand.RNG) (*graph.Graph, error) {
 	default:
 		return nil, fmt.Errorf("mobilegossip: unknown topology kind %v", t.Kind)
 	}
+}
+
+// rggDefaultRadius is 1.5·√(ln n/(πn)): slightly above the RGG
+// connectivity threshold, keeping average degree ≈ 2.25·ln n.
+func rggDefaultRadius(n int) float64 {
+	if n < 2 {
+		return 1
+	}
+	return 1.5 * math.Sqrt(math.Log(float64(n))/(math.Pi*float64(n)))
 }
 
 func gnpDefaultP(n int) float64 {
@@ -180,12 +215,9 @@ func (t Topology) Build(n, tau int, seed uint64) (dyngraph.Dynamic, error) {
 }
 
 // relabel permutes vertex labels so deterministic families still churn.
+// Graph.Relabel rebuilds the CSR arrays in place of the old
+// Edges-and-rebuild round trip (same result, no per-edge overhead).
 func relabel(g *graph.Graph, rng *prand.RNG) *graph.Graph {
-	n := g.N()
-	perm := rng.Perm(n)
-	b := graph.NewBuilder(n)
-	for _, e := range g.Edges() {
-		_ = b.AddEdge(perm[e[0]], perm[e[1]])
-	}
-	return b.Build(g.Name() + "+perm")
+	perm := rng.Perm(g.N())
+	return g.Relabel(perm, g.Name()+"+perm")
 }
