@@ -48,11 +48,15 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
-# bench-core runs the fixed-round EngineRound suite the regression gate
-# consumes (fixed BENCHTIME so baseline and fresh runs execute the same
-# round distribution).
+# bench-core runs the fixed-round suites the regression gate consumes
+# (fixed BENCHTIME so baseline and fresh runs execute the same round
+# distribution): the EngineRound simulation core plus the DynamicRound
+# delta-vs-rebuild mobility suite at n=10k (the n=100k rows exist for
+# manual runs — `go test -bench=BenchmarkDynamicRound` — but are too slow
+# to gate per-PR).
+BENCH_PATTERN := 'BenchmarkEngineRound|BenchmarkDynamicRound/.*_n10000_'
 bench-core:
-	$(GO) test -bench=BenchmarkEngineRound -benchmem -benchtime=$(BENCHTIME) -run='^$$' . | tee bench-core.txt
+	$(GO) test -bench=$(BENCH_PATTERN) -benchmem -benchtime=$(BENCHTIME) -run='^$$' . | tee bench-core.txt
 
 # bench-gate compares a fresh bench-core run against the committed
 # BENCH_core.json baseline (±15% ns/op and allocs/op; a 0-alloc baseline
@@ -67,12 +71,18 @@ bench-baseline: bench-core
 	$(GO) run ./cmd/benchgate -input bench-core.txt -out BENCH_core.json -benchtime $(BENCHTIME)
 
 # determinism checks the runner's bit-reproducibility invariant: the E1
-# table must be byte-identical at 1 worker and at GOMAXPROCS workers.
+# table (core sweeps) and the E22 table (mobility schedules — motion,
+# delta patching and churn measurement included) must be byte-identical at
+# 1 worker and at GOMAXPROCS workers.
 determinism:
 	$(GO) run ./cmd/benchtable -exp e1 -parallel 1 -csv > e1_w1.csv
 	$(GO) run ./cmd/benchtable -exp e1 -csv > e1_wmax.csv
 	cmp e1_w1.csv e1_wmax.csv
 	@rm -f e1_w1.csv e1_wmax.csv
-	@echo "determinism: E1 byte-identical at 1 and GOMAXPROCS workers"
+	$(GO) run ./cmd/benchtable -exp e22 -parallel 1 -csv > e22_w1.csv
+	$(GO) run ./cmd/benchtable -exp e22 -csv > e22_wmax.csv
+	cmp e22_w1.csv e22_wmax.csv
+	@rm -f e22_w1.csv e22_wmax.csv
+	@echo "determinism: E1 and E22 byte-identical at 1 and GOMAXPROCS workers"
 
 ci: build vet fmt lint race test bench determinism bench-gate

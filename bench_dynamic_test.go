@@ -1,0 +1,61 @@
+package mobilegossip_test
+
+// BenchmarkDynamicRound measures one topology round of a mobility schedule
+// — move every node, recompute the unit-disk proximity edges on the spatial
+// hash grid, repair connectivity, and maintain the CSR — comparing the two
+// CSR-maintenance strategies:
+//
+//   - delta:   diff the sorted edge lists and patch the previous round's
+//     CSR in place (graph.Patcher) — the production path;
+//   - rebuild: feed the edge list through graph.Builder from scratch every
+//     round — the pre-mobility status quo (what dyngraph.Regen does).
+//
+// The two produce byte-identical graphs (see internal/mobility's
+// equivalence tests); the benchmark exists to pin the delta path's
+// advantage, which the CI bench-gate locks in alongside the engine suite.
+
+import (
+	"fmt"
+	"testing"
+
+	"mobilegossip/internal/mobility"
+)
+
+func BenchmarkDynamicRound(b *testing.B) {
+	models := []struct {
+		name string
+		mk   func(speed float64) mobility.Model
+	}{
+		{"waypoint", func(v float64) mobility.Model { return mobility.Waypoint(v, 2) }},
+		{"levy", func(v float64) mobility.Model { return mobility.Levy(v, 1.6) }},
+		{"group", func(v float64) mobility.Model { return mobility.Group(4, 0.6, v) }},
+		{"commuter", func(v float64) mobility.Model { return mobility.Commuter(v, 64) }},
+	}
+	for _, n := range []int{10000, 100000} {
+		// The physical smartphone regime: a walker covers a few percent of
+		// the radio range per round (1 m/s against a 30–100 m range), so a
+		// round churns a few percent of the edges. (An absolute speed would
+		// cross the whole range per round at n = 10⁵, churning every edge —
+		// an interesting stress case but not the regime delta maintenance
+		// is for.)
+		speed := mobility.DefaultRadius(n) / 32
+		for _, m := range models {
+			for _, mode := range []struct {
+				name    string
+				rebuild bool
+			}{{"delta", false}, {"rebuild", true}} {
+				b.Run(fmt.Sprintf("%s_n%d_%s", m.name, n, mode.name), func(b *testing.B) {
+					s := mobility.New(m.mk(speed), mobility.Options{
+						N: n, Tau: 1, Seed: 11, Rebuild: mode.rebuild,
+					})
+					s.At(1) // materialize round 1 outside the timer
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						s.At(i + 2)
+					}
+				})
+			}
+		}
+	}
+}

@@ -8,6 +8,8 @@
 //	gossipsim -alg sharedbit -graph regular -n 128 -k 128 -epsilon 0.75
 //	gossipsim -alg simsharedbit -graph doublestar -n 64 -k 4 -tau 1
 //	gossipsim -alg sharedbit -graph rgg -n 100000 -k 16 -maxrounds 500
+//	gossipsim -alg sharedbit -graph waypoint -n 5000 -k 8 -tau 1 -speed 0.02
+//	gossipsim -alg simsharedbit -graph group -n 2000 -k 8 -tau 1 -attract 0.9
 //
 // Comma lists in -n and -k, or -trials > 1, switch to the parallel sweep
 // path: the n×k cross-product grid runs -trials times per point on the
@@ -44,14 +46,20 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("gossipsim", flag.ContinueOnError)
 	var (
 		algName   = fs.String("alg", "sharedbit", "algorithm: blindmatch|sharedbit|simsharedbit|crowdedbin")
-		graphName = fs.String("graph", "regular", "topology: cycle|path|complete|star|doublestar|grid|hypercube|gnp|regular|barbell|rgg|pa")
+		graphName = fs.String("graph", "regular", "topology: cycle|path|complete|star|doublestar|grid|hypercube|gnp|regular|barbell|rgg|pa, or a mobility model: waypoint|levy|group|commuter")
 		nList     = fs.String("n", "64", "network size, or comma list for a sweep")
 		kList     = fs.String("k", "8", "token count (1..n), or comma list for a sweep")
 		tau       = fs.Int("tau", 0, "stability factor; 0 = static (τ=∞), t>=1 redraws topology every t rounds")
 		degree    = fs.Int("degree", 4, "degree for -graph regular")
 		p         = fs.Float64("p", 0, "edge probability for -graph gnp (0 = default 2·ln(n)/n)")
-		radius    = fs.Float64("radius", 0, "connection radius for -graph rgg (0 = just above the connectivity threshold)")
+		radius    = fs.Float64("radius", 0, "connection radius for -graph rgg, or radio range for the mobility models (0 = default)")
 		attach    = fs.Int("attach", 0, "edges per new vertex for -graph pa (0 = default 3)")
+		speed     = fs.Float64("speed", 0, "per-round motion step for the mobility models (0 = default 0.01; negative = frozen)")
+		pause     = fs.Int("pause", 0, "waypoint dwell in motion epochs for -graph waypoint (0 = default 2)")
+		levyAlpha = fs.Float64("levyalpha", 0, "Lévy tail exponent for -graph levy (0 = default 1.6)")
+		groups    = fs.Int("groups", 0, "attractor count for -graph group (0 = default 4)")
+		attract   = fs.Float64("attract", 0, "gathering intensity in [0,1] for -graph group (0 = default 0.6; negative = 0)")
+		period    = fs.Int("period", 0, "commute cycle in rounds for -graph commuter (0 = default 64)")
 		epsilon   = fs.Float64("epsilon", 0, "ε-gossip fraction in (0,1); requires -alg sharedbit and -k = -n")
 		seed      = fs.Uint64("seed", 1, "run seed (fully determines the execution, sweep or single)")
 		maxRounds = fs.Int("maxrounds", 0, "abort after this many rounds (0 = engine default)")
@@ -86,10 +94,14 @@ func run(args []string) error {
 
 	mkConfig := func(n, k int) mobilegossip.Config {
 		return mobilegossip.Config{
-			Algorithm:  alg,
-			N:          n,
-			K:          k,
-			Topology:   mobilegossip.Topology{Kind: kind, Degree: *degree, P: *p, Radius: *radius, Attach: *attach},
+			Algorithm: alg,
+			N:         n,
+			K:         k,
+			Topology: mobilegossip.Topology{
+				Kind: kind, Degree: *degree, P: *p, Radius: *radius, Attach: *attach,
+				Speed: *speed, Pause: *pause, LevyAlpha: *levyAlpha,
+				Groups: *groups, Attract: *attract, Period: *period,
+			},
 			Tau:        *tau,
 			Epsilon:    *epsilon,
 			TagBits:    *tagBits,
@@ -193,6 +205,11 @@ func runSingle(cfg mobilegossip.Config, seed uint64, trace int, traceFile string
 	fmt.Fprintf(tw, "proposals\t%d\n", res.Proposals)
 	fmt.Fprintf(tw, "control bits\t%d\n", res.ControlBits)
 	fmt.Fprintf(tw, "tokens moved\t%d\n", res.TokensMoved)
+	if res.EdgesAdded > 0 || res.EdgesRemoved > 0 {
+		fmt.Fprintf(tw, "edge churn\t+%d/-%d (%.1f per round)\n",
+			res.EdgesAdded, res.EdgesRemoved,
+			float64(res.EdgesAdded+res.EdgesRemoved)/float64(max(res.Rounds, 1)))
+	}
 	fmt.Fprintf(tw, "final φ\t%d\n", res.FinalPotential)
 	fmt.Fprintf(tw, "wall time\t%v\n", elapsed.Round(time.Millisecond))
 	return tw.Flush()

@@ -1,16 +1,24 @@
 // Command graphinfo prints the structural properties the paper's bounds
 // are parameterized by — n, max degree Δ, diameter D, and vertex expansion
-// α — for the built-in topology families.
+// α — for the built-in topology families, and, for dynamic schedules, the
+// per-round edge-churn statistics (edges added/removed per change, the
+// effective stability factor actually exhibited) that the static numbers
+// cannot capture.
 //
 // Usage:
 //
 //	graphinfo -graph doublestar -n 32
 //	graphinfo -graph regular -degree 4 -n 16,32,64,128
 //	graphinfo -all -n 24
+//	graphinfo -graph waypoint -n 256 -tau 1 -speed 0.02 -rounds 64
+//	graphinfo -graph regular -n 64 -tau 4 -rounds 64
 //
 // For n ≤ 22 the vertex expansion is computed exactly by subset
 // enumeration; above that a randomized local-search estimate (an upper
-// bound on α) is reported and marked "~".
+// bound on α) is reported and marked "~". With -tau ≥ 1 a second table
+// follows: the schedule is replayed for -rounds rounds and its churn is
+// tallied — through dyngraph.DeltaFor for delta-capable schedules (the
+// mobility models), by graph diffing for the regenerating ones.
 package main
 
 import (
@@ -23,6 +31,7 @@ import (
 	"text/tabwriter"
 
 	"mobilegossip"
+	"mobilegossip/internal/dyngraph"
 	"mobilegossip/internal/graph"
 	"mobilegossip/internal/prand"
 )
@@ -44,6 +53,15 @@ func run(args []string) error {
 		seed      = fs.Uint64("seed", 1, "seed for randomized families and α estimation")
 		all       = fs.Bool("all", false, "print every family at the first -n size")
 		samples   = fs.Int("samples", 2000, "samples for the α estimate on large graphs")
+		tau       = fs.Int("tau", 0, "stability factor; >= 1 adds the dynamic churn table")
+		rounds    = fs.Int("rounds", 64, "rounds to replay for the churn table")
+		radius    = fs.Float64("radius", 0, "radio range / rgg radius (0 = default)")
+		speed     = fs.Float64("speed", 0, "mobility motion step (0 = default 0.01; negative = frozen)")
+		pause     = fs.Int("pause", 0, "waypoint dwell (0 = default 2)")
+		levyAlpha = fs.Float64("levyalpha", 0, "Lévy tail exponent (0 = default 1.6)")
+		groups    = fs.Int("groups", 0, "group attractor count (0 = default 4)")
+		attract   = fs.Float64("attract", 0, "gathering intensity (0 = default 0.6; negative = 0)")
+		period    = fs.Int("period", 0, "commuter cycle in rounds (0 = default 64)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -54,21 +72,51 @@ func run(args []string) error {
 		return err
 	}
 
+	mkTopo := func(kindName string) (mobilegossip.Topology, error) {
+		kind, err := mobilegossip.ParseTopologyKind(kindName)
+		if err != nil {
+			return mobilegossip.Topology{}, err
+		}
+		return mobilegossip.Topology{
+			Kind: kind, Degree: *degree, P: *p, Radius: *radius,
+			Speed: *speed, Pause: *pause, LevyAlpha: *levyAlpha,
+			Groups: *groups, Attract: *attract, Period: *period,
+		}, nil
+	}
+
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "graph\tn\tedges\tΔ\tD\tα\tlog(n)/α")
 
+	type churnRow struct {
+		name string
+		n    int
+		c    dyngraph.Churn
+	}
+	var churns []churnRow
+
 	emit := func(kindName string, n int) error {
-		kind, err := mobilegossip.ParseTopologyKind(kindName)
+		topo, err := mkTopo(kindName)
 		if err != nil {
 			return err
 		}
-		topo := mobilegossip.Topology{Kind: kind, Degree: *degree, P: *p}
-		dyn, err := topo.Build(n, 0, *seed)
+		dyn, err := topo.Build(n, *tau, *seed)
 		if err != nil {
 			return err
 		}
 		g := dyn.At(1)
-		return printRow(tw, g, *samples, *seed)
+		if err := printRow(tw, g, *samples, *seed); err != nil {
+			return err
+		}
+		if *tau >= 1 && *rounds >= 2 {
+			// Replay a fresh schedule for the churn tally: MeasureChurn
+			// advances stateful schedules, so it gets its own instance.
+			cdyn, err := topo.Build(n, *tau, *seed)
+			if err != nil {
+				return err
+			}
+			churns = append(churns, churnRow{g.Name(), n, dyngraph.MeasureChurn(cdyn, *rounds)})
+		}
+		return nil
 	}
 
 	if *all {
@@ -87,7 +135,37 @@ func run(args []string) error {
 			}
 		}
 	}
-	return tw.Flush()
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	if len(churns) > 0 {
+		fmt.Printf("\nchurn over rounds 1..%d (τ=%d):\n", *rounds, *tau)
+		ctw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(ctw, "graph\tn\tchanges\t+edges/chg\t-edges/chg\tτ_eff\tedges[min,max]")
+		for _, cr := range churns {
+			c := cr.c
+			addPer, remPer := 0.0, 0.0
+			if c.Changes > 0 {
+				addPer = float64(c.Added) / float64(c.Changes)
+				remPer = float64(c.Removed) / float64(c.Changes)
+			}
+			fmt.Fprintf(ctw, "%s\t%d\t%d\t%.1f\t%.1f\t%s\t[%d,%d]\n",
+				cr.name, cr.n, c.Changes, addPer, remPer,
+				tauEffString(c.EffectiveTau), c.MinEdges, c.MaxEdges)
+		}
+		if err := ctw.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func tauEffString(tau int) string {
+	if tau == dyngraph.Infinite {
+		return "∞"
+	}
+	return strconv.Itoa(tau)
 }
 
 func printRow(tw *tabwriter.Writer, g *graph.Graph, samples int, seed uint64) error {

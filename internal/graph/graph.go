@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -88,6 +89,11 @@ func (b *Builder) Build(name string) *Graph {
 	}
 	b.edges = edges // builders stay reusable: drop the compacted-away tail
 
+	if len(edges) > math.MaxInt32/2 {
+		// 2m directed adjacency entries must fit the int32 offsets, or the
+		// prefix sum below wraps silently.
+		panic(fmt.Sprintf("graph: %d edges exceed the int32 CSR limit", len(edges)))
+	}
 	offsets := make([]int32, b.n+1)
 	for _, e := range edges {
 		offsets[e>>32+1]++
@@ -217,10 +223,12 @@ func (g *Graph) Relabel(perm []int, name string) *Graph {
 }
 
 // sortInt32 sorts a small int32 slice ascending (insertion sort for the
-// typical short adjacency ranges, falling back to sort.Slice when long).
+// typical short adjacency ranges, falling back to an allocation-free
+// stdlib sort when long — sort.Slice would allocate its closure per call,
+// which the Patcher's per-vertex delta sorting cannot afford).
 func sortInt32(s []int32) {
 	if len(s) > 32 {
-		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		slices.Sort(s)
 		return
 	}
 	for i := 1; i < len(s); i++ {

@@ -1,0 +1,125 @@
+package graph
+
+// Quick-checks for the incremental CSR patcher: a chain of random deltas
+// applied through Patcher.Apply must stay element-for-element identical to
+// from-scratch Builder rebuilds of the same edge sets.
+
+import (
+	"testing"
+
+	"mobilegossip/internal/prand"
+)
+
+// edgeSet tracks the reference edge set as packed u<v pairs.
+type edgeSet map[uint64]bool
+
+func (s edgeSet) pairs() [][2]int32 {
+	out := make([][2]int32, 0, len(s))
+	for e := range s {
+		out = append(out, [2]int32{int32(e >> 32), int32(uint32(e))})
+	}
+	return out
+}
+
+func buildFrom(n int, s edgeSet, name string) *Graph {
+	b := NewBuilderCap(n, len(s))
+	for e := range s {
+		_ = b.AddEdge(int(e>>32), int(uint32(e)))
+	}
+	return b.Build(name)
+}
+
+// TestPatcherMatchesRebuild drives 30 rounds of random add/remove deltas on
+// random initial graphs and requires the patched CSR to equal the rebuilt
+// CSR exactly, for several sizes and seeds.
+func TestPatcherMatchesRebuild(t *testing.T) {
+	for _, n := range []int{2, 7, 40, 200} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			rng := prand.New(prand.Mix64(seed ^ uint64(n)<<20))
+			cur := edgeSet{}
+			for i := 0; i < n; i++ {
+				u, v := rng.Intn(n), rng.Intn(n)
+				if u == v {
+					continue
+				}
+				if u > v {
+					u, v = v, u
+				}
+				cur[uint64(u)<<32|uint64(v)] = true
+			}
+			p := NewPatcher(buildFrom(n, cur, "init"))
+			for round := 0; round < 30; round++ {
+				var added, removed [][2]int32
+				// Remove a random ~quarter of the current edges…
+				for e := range cur {
+					if rng.Intn(4) == 0 {
+						removed = append(removed, [2]int32{int32(e >> 32), int32(uint32(e))})
+						delete(cur, e)
+					}
+				}
+				// …and add fresh random non-edges.
+				for tries := 0; tries < n/2+1; tries++ {
+					u, v := rng.Intn(n), rng.Intn(n)
+					if u == v {
+						continue
+					}
+					if u > v {
+						u, v = v, u
+					}
+					e := uint64(u)<<32 | uint64(v)
+					if cur[e] {
+						continue
+					}
+					cur[e] = true
+					added = append(added, [2]int32{int32(u), int32(v)})
+				}
+				got := p.Apply(added, removed, "patched")
+				want := buildFrom(n, cur, "patched")
+				if !got.EqualCSR(want) {
+					t.Fatalf("n=%d seed=%d round=%d: patched CSR diverged from rebuild", n, seed, round)
+				}
+				if got.Name() != "patched" {
+					t.Fatalf("patched graph name = %q", got.Name())
+				}
+			}
+		}
+	}
+}
+
+// TestPatcherEmptyDelta: applying an empty delta must reproduce the same
+// topology (in the other buffer).
+func TestPatcherEmptyDelta(t *testing.T) {
+	rng := prand.New(11)
+	g := RandomRegular(32, 4, rng)
+	p := NewPatcher(g)
+	got := p.Apply(nil, nil, g.Name())
+	if !got.EqualCSR(g) {
+		t.Fatal("empty delta changed the graph")
+	}
+}
+
+// TestPatcherInconsistentDeltaPanics: removing an absent edge must panic
+// rather than corrupt the CSR.
+func TestPatcherInconsistentDeltaPanics(t *testing.T) {
+	p := NewPatcher(Cycle(8))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("removing an absent edge did not panic")
+		}
+	}()
+	p.Apply(nil, [][2]int32{{0, 4}}, "bad")
+}
+
+// TestEqualCSR sanity-checks the oracle relation itself.
+func TestEqualCSR(t *testing.T) {
+	a, b := Cycle(16), Cycle(16)
+	if !a.EqualCSR(b) {
+		t.Fatal("identical cycles compare unequal")
+	}
+	if a.EqualCSR(Path(16)) {
+		t.Fatal("cycle equals path")
+	}
+	if a.EqualCSR(Cycle(17)) {
+		t.Fatal("different sizes compare equal")
+	}
+}

@@ -1,0 +1,314 @@
+// Package mobility is the continuous-space motion layer under the mobile
+// telephone model: instead of an abstract adversary redrawing the topology
+// (dyngraph.Regen), nodes are smartphones moving through the unit square
+// and the per-round topology is their unit-disk proximity graph — within
+// radio range ⇔ adjacent. That is the physical situation the paper's
+// scenarios (concerts, disasters, protests; §1) describe and its dynamic
+// graph model abstracts (§2).
+//
+// The pipeline per motion epoch:
+//
+//  1. a Model advances every node's (x, y) position (random waypoint, Lévy
+//     flight, group gathering, commuter schedules — see models.go);
+//  2. a seeded spatial hash grid (cell side = the radio radius r, so only
+//     the 3×3 cell neighborhood can hold neighbors) emits the unit-disk
+//     edges in globally sorted order, O(n + m), reusing all buffers;
+//  3. connectivity repair bridges the components (the model requires every
+//     round's topology connected, §2): component representatives are
+//     chained with virtual relay edges — the sparse long-range fallback
+//     links (satellite/infrastructure hops) real smartphone meshes assume;
+//  4. the sorted edge list is diffed against the previous epoch's in one
+//     merge pass, and the delta — not the whole graph — is applied to the
+//     CSR via graph.Patcher.
+//
+// Schedules built from this package implement dyngraph.DeltaDynamic, so the
+// engine gets incremental topologies with per-round churn accounting, and
+// graphinfo/harness can report effective stability. See DESIGN.md §8.
+package mobility
+
+import (
+	"math"
+)
+
+// DefaultRadius returns the radio radius giving a mean unit-disk degree of
+// ≈ 8 for n uniform points in the unit square (π·r²·n = 8): dense enough
+// for useful gossip, sparse enough that the topology stays local.
+func DefaultRadius(n int) float64 {
+	if n < 2 {
+		return 1
+	}
+	return math.Sqrt(8 / (math.Pi * float64(n)))
+}
+
+// field owns the positions and every scratch buffer of the proximity
+// pipeline. All buffers are allocated once and reused across epochs.
+type field struct {
+	n      int
+	r, r2  float64
+	x, y   []float64
+	side   int     // grid is side×side cells of edge ≥ r
+	inv    float64 // side as a float, for coordinate→cell scaling
+	caps   int     // side*side
+	cellOf []int32 // cell index per point (computed per epoch)
+	clOff  []int32 // CSR bucketing of points into cells: offsets
+	clCur  []int32 //   fill cursors
+	clPts  []int32 //   point ids, ascending within each cell
+	// Packed per-cell copies of the positions (clPts order, x/y
+	// interleaved so one candidate costs one cache line): the candidate
+	// scan walks them sequentially instead of gathering x[v]/y[v] at
+	// random indices — the difference between cache hits and misses on the
+	// hot 9-cell loop.
+	pxy  []float64
+	cand []int32 // per-point neighbor candidates (v > u)
+
+	edges   [2][]uint64 // double-buffered sorted packed (u<<32|v) edge lists
+	cur     int         // which buffer holds the current epoch's edges
+	scratch []uint64    // merge target for connectivity-repair bridges
+
+	parent   []int32 // union-find over the proximity components
+	reps     []int32 // component representatives (ascending node id)
+	rootMark []int32 // stamp array marking seen roots
+	stamp    int32
+
+	added, removed [][2]int32 // diff output, reused
+}
+
+func newField(n int, r float64) *field {
+	if r <= 0 {
+		r = DefaultRadius(n)
+	}
+	if r > 1 {
+		r = 1
+	}
+	side := int(1 / r)
+	if side < 1 {
+		side = 1
+	}
+	if side*side > n+1 {
+		// No point in more cells than points; a coarser grid only widens
+		// the candidate scan, never misses a neighbor.
+		side = int(math.Sqrt(float64(n))) + 1
+	}
+	cells := side * side
+	return &field{
+		n: n, r: r, r2: r * r,
+		x: make([]float64, n), y: make([]float64, n),
+		side: side, inv: float64(side), caps: cells,
+		cellOf:   make([]int32, n),
+		clOff:    make([]int32, cells+1),
+		clCur:    make([]int32, cells),
+		clPts:    make([]int32, n),
+		pxy:      make([]float64, 2*n),
+		parent:   make([]int32, n),
+		reps:     make([]int32, 0, 16),
+		rootMark: make([]int32, n),
+	}
+}
+
+// reset forgets the previous epoch's edges (used on schedule replay).
+func (f *field) reset() {
+	f.edges[0] = f.edges[0][:0]
+	f.edges[1] = f.edges[1][:0]
+	f.cur = 0
+}
+
+// advance recomputes the proximity graph for the current positions, repairs
+// connectivity, and returns the edge delta against the previous epoch. The
+// returned slices alias f's buffers and are valid until the next advance.
+func (f *field) advance() (added, removed [][2]int32) {
+	prev := f.edges[f.cur]
+	next := f.computeEdges(f.edges[1-f.cur][:0])
+	next = f.repair(next)
+	f.edges[1-f.cur] = next
+	f.cur = 1 - f.cur
+	return f.diff(prev, next)
+}
+
+// computeEdges emits the unit-disk edges in globally sorted packed order:
+// scanning points u ascending and keeping only candidates v > u makes the
+// list sorted by u, and sorting each point's (short) candidate run makes it
+// sorted within u — no global sort.
+func (f *field) computeEdges(out []uint64) []uint64 {
+	n, side := f.n, f.side
+	// Bucket points into cells (counts, prefix sums, fill). Filling in
+	// ascending point order keeps every cell's point list ascending.
+	for c := 0; c <= f.caps; c++ {
+		f.clOff[c] = 0
+	}
+	for i := 0; i < n; i++ {
+		cx := int(f.x[i] * f.inv)
+		cy := int(f.y[i] * f.inv)
+		if cx >= side {
+			cx = side - 1
+		}
+		if cy >= side {
+			cy = side - 1
+		}
+		f.cellOf[i] = int32(cy*side + cx)
+		f.clOff[f.cellOf[i]+1]++
+	}
+	for c := 1; c <= f.caps; c++ {
+		f.clOff[c] += f.clOff[c-1]
+	}
+	for c := 0; c < f.caps; c++ {
+		f.clCur[c] = 0
+	}
+	for i := 0; i < n; i++ {
+		c := f.cellOf[i]
+		slot := f.clOff[c] + f.clCur[c]
+		f.clPts[slot] = int32(i)
+		f.pxy[2*slot] = f.x[i]
+		f.pxy[2*slot+1] = f.y[i]
+		f.clCur[c]++
+	}
+
+	r2 := f.r2
+	pts, pxy := f.clPts, f.pxy
+	for u := 0; u < n; u++ {
+		c := int(f.cellOf[u])
+		cx, cy := c%side, c/side
+		cand := f.cand[:0]
+		xu, yu := f.x[u], f.y[u]
+		for dy := -1; dy <= 1; dy++ {
+			ny := cy + dy
+			if ny < 0 || ny >= side {
+				continue
+			}
+			for dx := -1; dx <= 1; dx++ {
+				nx := cx + dx
+				if nx < 0 || nx >= side {
+					continue
+				}
+				cc := ny*side + nx
+				lo, hi := f.clOff[cc], f.clOff[cc+1]
+				for s := lo; s < hi; s++ {
+					if int(pts[s]) <= u {
+						continue
+					}
+					ddx := pxy[2*s] - xu
+					ddy := pxy[2*s+1] - yu
+					if ddx*ddx+ddy*ddy <= r2 {
+						cand = append(cand, pts[s])
+					}
+				}
+			}
+		}
+		sortI32(cand)
+		for _, v := range cand {
+			out = append(out, uint64(u)<<32|uint64(v))
+		}
+		f.cand = cand // keep any growth
+	}
+	return out
+}
+
+// repair makes the edge set connected: union-find over the proximity edges,
+// then a chain of virtual relay edges over the component representatives
+// (smallest node id per component, which arrive — and therefore chain — in
+// ascending order, keeping the merged list sorted). Disconnection is rare
+// at the default radius, common when gathering drains the field's edges.
+func (f *field) repair(edges []uint64) []uint64 {
+	n := f.n
+	for i := 0; i < n; i++ {
+		f.parent[i] = int32(i)
+	}
+	for _, e := range edges {
+		f.union(int32(e>>32), int32(uint32(e)))
+	}
+	f.stamp++
+	f.reps = f.reps[:0]
+	for u := 0; u < n; u++ {
+		r := f.find(int32(u))
+		if f.rootMark[r] != f.stamp {
+			f.rootMark[r] = f.stamp
+			f.reps = append(f.reps, int32(u))
+		}
+	}
+	if len(f.reps) <= 1 {
+		return edges
+	}
+	// Bridge reps[i]–reps[i+1]; both endpoints ascend, so the bridge list
+	// is itself sorted and one merge pass restores global order. The merge
+	// target and the input buffer trade places so both are reused.
+	merged := f.scratch[:0]
+	bi := 0
+	bridge := func() uint64 {
+		return uint64(f.reps[bi])<<32 | uint64(f.reps[bi+1])
+	}
+	for _, e := range edges {
+		for bi+1 < len(f.reps) && bridge() < e {
+			merged = append(merged, bridge())
+			bi++
+		}
+		merged = append(merged, e)
+	}
+	for bi+1 < len(f.reps) {
+		merged = append(merged, bridge())
+		bi++
+	}
+	f.scratch = edges
+	return merged
+}
+
+func (f *field) find(u int32) int32 {
+	for f.parent[u] != u {
+		f.parent[u] = f.parent[f.parent[u]] // path halving
+		u = f.parent[u]
+	}
+	return u
+}
+
+func (f *field) union(u, v int32) {
+	ru, rv := f.find(u), f.find(v)
+	if ru == rv {
+		return
+	}
+	if ru < rv {
+		f.parent[rv] = ru
+	} else {
+		f.parent[ru] = rv
+	}
+}
+
+// diff merges the previous and current sorted edge lists into the added and
+// removed pair lists.
+func (f *field) diff(prev, next []uint64) (added, removed [][2]int32) {
+	f.added, f.removed = f.added[:0], f.removed[:0]
+	i, j := 0, 0
+	for i < len(prev) && j < len(next) {
+		switch {
+		case prev[i] == next[j]:
+			i++
+			j++
+		case prev[i] < next[j]:
+			f.removed = append(f.removed, unpack(prev[i]))
+			i++
+		default:
+			f.added = append(f.added, unpack(next[j]))
+			j++
+		}
+	}
+	for ; i < len(prev); i++ {
+		f.removed = append(f.removed, unpack(prev[i]))
+	}
+	for ; j < len(next); j++ {
+		f.added = append(f.added, unpack(next[j]))
+	}
+	return f.added, f.removed
+}
+
+func unpack(e uint64) [2]int32 { return [2]int32{int32(e >> 32), int32(uint32(e))} }
+
+// sortI32 sorts a short int32 slice ascending; candidate runs are a handful
+// of points at realistic densities, so insertion sort wins.
+func sortI32(s []int32) {
+	for i := 1; i < len(s); i++ {
+		v := s[i]
+		j := i - 1
+		for j >= 0 && s[j] > v {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = v
+	}
+}

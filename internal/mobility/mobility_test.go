@@ -1,0 +1,125 @@
+package mobility
+
+// The subsystem's three invariants, quick-checked per round for every
+// motion model (ISSUE 3 satellite): (1) the CSR maintained by incremental
+// delta patching is byte-identical to a from-scratch rebuild, (2) every
+// emitted topology is connected, (3) the topology changes only at τ-round
+// epoch boundaries.
+
+import (
+	"testing"
+
+	"mobilegossip/internal/dyngraph"
+)
+
+// testModels instantiates one of each motion model at a common speed.
+func testModels() map[string]func() Model {
+	return map[string]func() Model{
+		"waypoint": func() Model { return Waypoint(0.02, 2) },
+		"levy":     func() Model { return Levy(0.02, 1.6) },
+		"group":    func() Model { return Group(3, 0.7, 0.02) },
+		"commuter": func() Model { return Commuter(0.02, 10) },
+	}
+}
+
+func TestDeltaMatchesRebuildConnectedAndStable(t *testing.T) {
+	const n, rounds = 300, 48
+	for name, mk := range testModels() {
+		for _, tau := range []int{1, 3} {
+			opts := Options{N: n, Tau: tau, Seed: 99}
+			delta := New(mk(), opts)
+			opts.Rebuild = true
+			rebuild := New(mk(), opts)
+
+			lastChange := 1
+			prevEdges := delta.At(1).NumEdges()
+			for r := 1; r <= rounds; r++ {
+				dg, rg := delta.At(r), rebuild.At(r)
+				if !dg.EqualCSR(rg) {
+					t.Fatalf("%s τ=%d r=%d: patched CSR != rebuilt CSR", name, tau, r)
+				}
+				if !dg.Connected() {
+					t.Fatalf("%s τ=%d r=%d: disconnected topology", name, tau, r)
+				}
+				d := delta.DeltaFor(r)
+				if d.Change() {
+					if (r-1)%tau != 0 || r == 1 {
+						t.Fatalf("%s τ=%d: delta at non-epoch round %d", name, tau, r)
+					}
+					if r-lastChange < tau {
+						t.Fatalf("%s τ=%d: changes %d rounds apart (rounds %d, %d)",
+							name, tau, r-lastChange, lastChange, r)
+					}
+					lastChange = r
+					// The delta must account exactly for the edge-count move.
+					want := prevEdges + len(d.Added) - len(d.Removed)
+					if dg.NumEdges() != want {
+						t.Fatalf("%s τ=%d r=%d: %d edges, delta predicts %d",
+							name, tau, r, dg.NumEdges(), want)
+					}
+				} else if dg.NumEdges() != prevEdges {
+					t.Fatalf("%s τ=%d r=%d: edge count changed without a delta", name, tau, r)
+				}
+				prevEdges = dg.NumEdges()
+			}
+		}
+	}
+}
+
+// TestScheduleReplayDeterminism: querying a round behind the schedule's
+// cursor replays the trajectory from the seed and lands on the identical
+// topology a fresh schedule produces.
+func TestScheduleReplayDeterminism(t *testing.T) {
+	for name, mk := range testModels() {
+		opts := Options{N: 200, Tau: 1, Seed: 5}
+		a := New(mk(), opts)
+		a.At(30)
+		rewound := a.At(7)
+		fresh := New(mk(), opts).At(7)
+		if !rewound.EqualCSR(fresh) {
+			t.Fatalf("%s: replayed round 7 differs from a fresh schedule's", name)
+		}
+	}
+}
+
+// TestFrozenSchedule: Tau <= 0 is a τ = ∞ snapshot — same graph at every
+// round, stability Infinite, still connected.
+func TestFrozenSchedule(t *testing.T) {
+	s := New(Waypoint(0.02, 2), Options{N: 150, Seed: 3})
+	if s.Stability() != dyngraph.Infinite {
+		t.Fatalf("frozen schedule stability = %d", s.Stability())
+	}
+	g1 := s.At(1)
+	if !g1.Connected() {
+		t.Fatal("frozen snapshot disconnected")
+	}
+	if g2 := s.At(1000); g2 != g1 {
+		t.Fatal("frozen schedule changed topology")
+	}
+	if d := s.DeltaFor(500); d.Change() {
+		t.Fatal("frozen schedule reported a delta")
+	}
+}
+
+// TestGatheringDisconnectsAreRepaired: crank the gathering intensity to
+// collapse the crowd into far-apart clusters — the regime where the raw
+// unit-disk graph disconnects — and require every round connected anyway.
+func TestGatheringDisconnectsAreRepaired(t *testing.T) {
+	s := New(Group(4, 1.0, 0.05), Options{N: 240, Tau: 1, Seed: 8, Radius: 0.04})
+	for r := 1; r <= 60; r++ {
+		if !s.At(r).Connected() {
+			t.Fatalf("round %d disconnected despite repair", r)
+		}
+	}
+}
+
+// TestDefaultRadius: mean degree under uniform placement should land near
+// the designed ≈ 8 (loose bounds; the placement is random).
+func TestDefaultRadius(t *testing.T) {
+	s := New(Waypoint(0, 1), Options{N: 2000, Seed: 1})
+	g := s.At(1)
+	mean := 2 * float64(g.NumEdges()) / float64(g.N())
+	if mean < 5 || mean > 12 {
+		t.Fatalf("default-radius mean degree = %.1f, want ≈ 8", mean)
+	}
+}

@@ -1,0 +1,169 @@
+package mobility
+
+import (
+	"fmt"
+
+	"mobilegossip/internal/dyngraph"
+	"mobilegossip/internal/graph"
+	"mobilegossip/internal/prand"
+)
+
+// Options parameterizes a Schedule.
+type Options struct {
+	// N is the number of nodes (phones).
+	N int
+	// Tau is the stability factor: motion epochs are τ rounds long, so the
+	// topology changes at most every τ rounds as the model requires.
+	// Tau ≤ 0 freezes the initial placement (τ = ∞): a static snapshot of
+	// the crowd, which is what lets stable-topology algorithms (CrowdedBin)
+	// run on mobility-generated proximity graphs.
+	Tau int
+	// Radius is the radio range; ≤ 0 selects DefaultRadius(N).
+	Radius float64
+	// Seed fully determines the trajectory and therefore every topology.
+	Seed uint64
+	// Rebuild bypasses the incremental delta pipeline and rebuilds the CSR
+	// from scratch (graph.Builder) every epoch. The two modes produce
+	// byte-identical graphs; Rebuild exists as the oracle for the
+	// equivalence quick-checks and the baseline for BenchmarkDynamicRound.
+	Rebuild bool
+}
+
+// Schedule drives a Model and emits its unit-disk proximity graph as a
+// dyngraph.DeltaDynamic: per round the engine sees a connected topology,
+// and changes arrive as edge deltas patched into the CSR in place. Rounds
+// are meant to be queried in ascending order (the engine's access pattern);
+// a query behind the current epoch deterministically replays the trajectory
+// from the seed.
+type Schedule struct {
+	n      int
+	tau    int // dyngraph.Infinite when frozen
+	radius float64
+	seed   uint64
+	model  Model
+	opts   Options
+
+	rng     *prand.RNG
+	field   *field
+	patcher *graph.Patcher
+	epoch   int // current epoch index; rounds (epoch·τ)+1 … (epoch+1)·τ
+	g       *graph.Graph
+	delta   dyngraph.Delta // the delta that opened the current epoch
+	name    string
+}
+
+var _ dyngraph.DeltaDynamic = (*Schedule)(nil)
+
+// New builds the schedule and materializes its round-1 topology.
+func New(m Model, o Options) *Schedule {
+	tau := o.Tau
+	if tau <= 0 {
+		tau = dyngraph.Infinite
+	}
+	s := &Schedule{
+		n: o.N, tau: tau, radius: o.Radius, seed: o.Seed, model: m, opts: o,
+		field: newField(o.N, o.Radius),
+	}
+	s.radius = s.field.r
+	tauStr := fmt.Sprintf("τ=%d", tau)
+	if tau == dyngraph.Infinite {
+		tauStr = "τ=∞"
+	}
+	s.name = fmt.Sprintf("mobility(%s,%s,r=%.4f)", m.Name(), tauStr, s.radius)
+	s.reset()
+	return s
+}
+
+// reset (re)plays the schedule from its initial state: model placement,
+// round-1 proximity graph, fresh patcher state.
+func (s *Schedule) reset() {
+	s.rng = prand.New(prand.Mix64(s.seed ^ 0x53a3f3aa35b1f74d))
+	s.model.Init(s.n, s.rng, s.field.x, s.field.y)
+	s.field.reset()
+	s.field.advance() // first advance: delta against the empty graph
+	s.g = s.buildFromScratch(0)
+	s.epoch = 0
+	s.delta = dyngraph.Delta{}
+	if !s.opts.Rebuild {
+		if s.patcher == nil {
+			s.patcher = graph.NewPatcher(s.g)
+		} else {
+			s.patcher.Reset(s.g)
+		}
+		s.g = s.patcher.Graph()
+	}
+}
+
+// buildFromScratch constructs the current edge list's CSR through the
+// Builder — the canonical (sorted, deduplicated) layout the patched CSR is
+// tested byte-identical against.
+func (s *Schedule) buildFromScratch(epoch int) *graph.Graph {
+	b := graph.NewBuilderCap(s.n, len(s.field.edges[s.field.cur]))
+	for _, e := range s.field.edges[s.field.cur] {
+		_ = b.AddEdge(int(e>>32), int(uint32(e)))
+	}
+	return b.Build(s.epochName(epoch))
+}
+
+func (s *Schedule) epochName(epoch int) string {
+	return fmt.Sprintf("%s@e%d", s.model.Name(), epoch)
+}
+
+func (s *Schedule) epochOf(r int) int {
+	if r < 1 {
+		r = 1
+	}
+	if s.tau == dyngraph.Infinite {
+		return 0
+	}
+	return (r - 1) / s.tau
+}
+
+// At implements dyngraph.Dynamic. The returned graph aliases schedule
+// buffers and is valid until the schedule advances to a later epoch.
+func (s *Schedule) At(r int) *graph.Graph {
+	e := s.epochOf(r)
+	if e < s.epoch {
+		s.reset()
+	}
+	for s.epoch < e {
+		s.step()
+	}
+	return s.g
+}
+
+// step advances one motion epoch: move, recompute proximity, repair,
+// diff, and patch (or rebuild).
+func (s *Schedule) step() {
+	s.model.Step(s.epoch+1, s.rng, s.field.x, s.field.y)
+	added, removed := s.field.advance()
+	s.delta = dyngraph.Delta{Added: added, Removed: removed}
+	s.epoch++
+	if s.opts.Rebuild {
+		s.g = s.buildFromScratch(s.epoch)
+		return
+	}
+	s.g = s.patcher.Apply(added, removed, s.epochName(s.epoch))
+}
+
+// DeltaFor implements dyngraph.DeltaDynamic: the delta is nonzero exactly
+// at the first round of an epoch whose motion changed some edge.
+func (s *Schedule) DeltaFor(r int) dyngraph.Delta {
+	s.At(r)
+	if s.epoch == 0 || s.tau == dyngraph.Infinite || r != s.epoch*s.tau+1 {
+		return dyngraph.Delta{}
+	}
+	return s.delta
+}
+
+// N implements dyngraph.Dynamic.
+func (s *Schedule) N() int { return s.n }
+
+// Stability implements dyngraph.Dynamic.
+func (s *Schedule) Stability() int { return s.tau }
+
+// Name implements dyngraph.Dynamic.
+func (s *Schedule) Name() string { return s.name }
+
+// Radius returns the (possibly defaulted) radio range in effect.
+func (s *Schedule) Radius() float64 { return s.radius }

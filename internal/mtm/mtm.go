@@ -153,6 +153,11 @@ type Result struct {
 	Proposals   int64 // proposals sent
 	ControlBits int64 // total metered control bits
 	TokensMoved int64 // total metered token transfers
+	// EdgesAdded and EdgesRemoved total the topology churn over the run as
+	// reported by a dyngraph.DeltaDynamic schedule (0 for schedules without
+	// delta support, including all static ones).
+	EdgesAdded   int64
+	EdgesRemoved int64
 }
 
 // Engine drives a Protocol over a dynamic topology.
@@ -243,9 +248,18 @@ func (e *Engine) Run() (Result, error) {
 	}
 	tags, acts := e.tags, e.acts
 	overBudget := false
+	// Delta-capable schedules (internal/mobility) report per-round edge
+	// churn; the engine only accounts it — the incremental CSR maintenance
+	// happens inside the schedule's At.
+	deltaDyn, _ := e.dyn.(dyngraph.DeltaDynamic)
 
 	for r := 1; r <= e.cfg.MaxRounds; r++ {
 		g := e.dyn.At(r)
+		if deltaDyn != nil {
+			d := deltaDyn.DeltaFor(r)
+			res.EdgesAdded += int64(len(d.Added))
+			res.EdgesRemoved += int64(len(d.Removed))
+		}
 
 		// Advertise: every node picks its b-bit tag.
 		for u := 0; u < n; u++ {

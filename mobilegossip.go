@@ -131,6 +131,11 @@ type Result struct {
 	Proposals   int64
 	ControlBits int64
 	TokensMoved int64
+	// EdgesAdded and EdgesRemoved total the topology churn over the run,
+	// as reported by delta-capable dynamic schedules (the mobility kinds);
+	// 0 for static and regenerating schedules.
+	EdgesAdded   int64
+	EdgesRemoved int64
 	// FinalPotential is φ at the end (0 when fully solved).
 	FinalPotential int
 }
@@ -225,6 +230,8 @@ func Run(cfg Config) (Result, error) {
 		Proposals:      runRes.Proposals,
 		ControlBits:    runRes.ControlBits,
 		TokensMoved:    runRes.TokensMoved,
+		EdgesAdded:     runRes.EdgesAdded,
+		EdgesRemoved:   runRes.EdgesRemoved,
 		FinalPotential: st.Potential(),
 	}
 	return res, err

@@ -28,6 +28,8 @@ func TestParseTopologyKindRoundTrip(t *testing.T) {
 	kinds := []TopologyKind{
 		Cycle, Path, Complete, Star, DoubleStar,
 		Grid, Hypercube, GNP, RandomRegular, Barbell,
+		RandomGeometric, PreferentialAttachment,
+		MobileWaypoint, MobileLevy, MobileGroup, MobileCommuter,
 	}
 	for _, k := range kinds {
 		got, err := ParseTopologyKind(k.String())
@@ -57,6 +59,8 @@ func TestEveryTopologyKindInspectable(t *testing.T) {
 	kinds := []TopologyKind{
 		Cycle, Path, Complete, Star, DoubleStar,
 		Grid, Hypercube, GNP, RandomRegular, Barbell,
+		RandomGeometric, PreferentialAttachment,
+		MobileWaypoint, MobileLevy, MobileGroup, MobileCommuter,
 	}
 	for _, k := range kinds {
 		info, err := (Topology{Kind: k}).Inspect(16, 1)

@@ -6,6 +6,7 @@ import (
 
 	"mobilegossip/internal/dyngraph"
 	"mobilegossip/internal/graph"
+	"mobilegossip/internal/mobility"
 	"mobilegossip/internal/prand"
 )
 
@@ -33,6 +34,17 @@ const (
 	// PreferentialAttachment is the Barabási–Albert contact-network model:
 	// heavy-tailed degrees, connected by construction, O(n·m) build.
 	PreferentialAttachment
+	// MobileWaypoint through MobileCommuter are the mobility-driven
+	// topologies (internal/mobility): phones move through the unit square
+	// under a continuous-space motion model, and each round's topology is
+	// their unit-disk proximity graph (connected by repair), changing every
+	// Tau rounds via incremental edge deltas. Tau = 0 freezes the initial
+	// placement. Parameterized by Radius, Speed, and the model-specific
+	// knobs below.
+	MobileWaypoint // random-waypoint walkers (Speed, Pause)
+	MobileLevy     // Lévy flights: heavy-tailed excursions (Speed, LevyAlpha)
+	MobileGroup    // gathering around moving attractors (Groups, Attract, Speed)
+	MobileCommuter // home↔work schedules with churn bursts (Speed, Period)
 )
 
 var kindNames = map[TopologyKind]string{
@@ -40,6 +52,8 @@ var kindNames = map[TopologyKind]string{
 	DoubleStar: "doublestar", Grid: "grid", Hypercube: "hypercube",
 	GNP: "gnp", RandomRegular: "regular", Barbell: "barbell",
 	RandomGeometric: "rgg", PreferentialAttachment: "pa",
+	MobileWaypoint: "waypoint", MobileLevy: "levy",
+	MobileGroup: "group", MobileCommuter: "commuter",
 }
 
 // String returns the family name.
@@ -72,11 +86,29 @@ type Topology struct {
 	// CliqueSize and PathLen parameterize Barbell.
 	CliqueSize, PathLen int
 	// Radius parameterizes RandomGeometric (default 1.5·√(ln n/(πn)), just
-	// above the connectivity threshold).
+	// above the connectivity threshold) and the mobility kinds' radio range
+	// (default mobility.DefaultRadius: mean degree ≈ 8).
 	Radius float64
 	// Attach parameterizes PreferentialAttachment: edges added per new
 	// vertex (default 3).
 	Attach int
+	// Speed is the per-round motion step of the mobility kinds, as a
+	// fraction of the unit square (default 0.01). 0 is a valid (frozen)
+	// speed: set it negative to mean exactly zero.
+	Speed float64
+	// Pause is MobileWaypoint's dwell at each destination, in motion
+	// epochs (default 2).
+	Pause int
+	// LevyAlpha is MobileLevy's Pareto tail exponent (default 1.6).
+	LevyAlpha float64
+	// Groups is MobileGroup's attractor count (default 4).
+	Groups int
+	// Attract is MobileGroup's gathering intensity in [0, 1] (default 0.6).
+	// Negative means exactly zero.
+	Attract float64
+	// Period is MobileCommuter's commute cycle length in rounds
+	// (default 64).
+	Period int
 }
 
 // buildStatic instantiates the topology on n vertices.
@@ -181,11 +213,66 @@ func gnpDefaultP(n int) float64 {
 	return p
 }
 
+// mobilityModel maps the mobility kinds onto their internal/mobility motion
+// model, applying the documented defaults (0 → default, negative → zero for
+// the float knobs so that "exactly zero" stays expressible).
+func (t Topology) mobilityModel() (mobility.Model, bool) {
+	speed := zeroableDefault(t.Speed, 0.01)
+	switch t.Kind {
+	case MobileWaypoint:
+		pause := t.Pause
+		if pause <= 0 {
+			pause = 2
+		}
+		return mobility.Waypoint(speed, pause), true
+	case MobileLevy:
+		alpha := t.LevyAlpha
+		if alpha <= 0 {
+			alpha = 1.6
+		}
+		return mobility.Levy(speed, alpha), true
+	case MobileGroup:
+		g := t.Groups
+		if g <= 0 {
+			g = 4
+		}
+		return mobility.Group(g, zeroableDefault(t.Attract, 0.6), speed), true
+	case MobileCommuter:
+		period := t.Period
+		if period <= 0 {
+			period = 64
+		}
+		return mobility.Commuter(speed, period), true
+	}
+	return nil, false
+}
+
+// zeroableDefault resolves a float knob where 0 means "default" but the
+// zero value itself must stay reachable: negative inputs mean exactly 0.
+func zeroableDefault(v, def float64) float64 {
+	switch {
+	case v == 0:
+		return def
+	case v < 0:
+		return 0
+	default:
+		return v
+	}
+}
+
 // Build instantiates the dynamic schedule: tau <= 0 (or Static) yields a
 // never-changing topology; tau >= 1 redraws the same family (over freshly
 // permuted labels where the family is deterministic) every tau rounds —
-// the harshest oblivious adversary the stability factor permits.
+// the harshest oblivious adversary the stability factor permits. The
+// mobility kinds instead move a crowd continuously and change the topology
+// by edge deltas (dyngraph.DeltaDynamic); for them tau <= 0 freezes the
+// initial placement.
 func (t Topology) Build(n, tau int, seed uint64) (dyngraph.Dynamic, error) {
+	if m, ok := t.mobilityModel(); ok {
+		return mobility.New(m, mobility.Options{
+			N: n, Tau: tau, Radius: t.Radius, Seed: seed,
+		}), nil
+	}
 	rng := prand.New(prand.Mix64(seed ^ 0xa24baed4963ee407))
 	if tau <= 0 {
 		g, err := t.buildStatic(n, rng)
