@@ -8,7 +8,7 @@ GO ?= go
 BENCHTIME ?= 500x
 TOLERANCE ?= 0.15
 
-.PHONY: all build vet fmt lint test race bench bench-core bench-gate bench-baseline determinism ci
+.PHONY: all build vet fmt lint test race bench bench-core bench-gate bench-baseline determinism examples checkpoint-determinism ci
 
 all: build
 
@@ -85,4 +85,26 @@ determinism:
 	@rm -f e22_w1.csv e22_wmax.csv
 	@echo "determinism: E1 and E22 byte-identical at 1 and GOMAXPROCS workers"
 
-ci: build vet fmt lint race test bench determinism bench-gate
+# examples runs every examples/ scenario in -short mode, exactly as the CI
+# build job does, so example drift breaks the build instead of rotting.
+examples:
+	@set -e; for ex in examples/*/; do \
+		echo "== $$ex"; \
+		$(GO) run "./$$ex" -short > /dev/null; \
+	done
+	@echo "examples: all scenarios ran clean in -short mode"
+
+# checkpoint-determinism checks the session API's resume contract on the
+# E22 workload (random-waypoint mobility under SharedBit): run to
+# completion while snapshotting at round 40, resume the snapshot in a
+# fresh process, and require byte-identical results (wall-clock and
+# checkpoint-administrivia lines stripped).
+checkpoint-determinism:
+	$(GO) run ./cmd/gossipsim -alg sharedbit -graph waypoint -n 2000 -k 8 -tau 1 -seed 5 \
+		-checkpoint e22.ckpt -checkpointat 40 | grep -v 'wall time\|checkpoint written' > ckpt_full.txt
+	$(GO) run ./cmd/gossipsim -resume e22.ckpt | grep -v 'wall time\|resumed from' > ckpt_resumed.txt
+	cmp ckpt_full.txt ckpt_resumed.txt
+	@rm -f e22.ckpt ckpt_full.txt ckpt_resumed.txt
+	@echo "checkpoint-determinism: resumed run byte-identical to uninterrupted run"
+
+ci: build vet fmt lint examples race test bench determinism checkpoint-determinism bench-gate

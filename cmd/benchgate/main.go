@@ -34,6 +34,7 @@ import (
 	"os"
 	"regexp"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -120,6 +121,14 @@ func run(args []string) error {
 	if err := json.Unmarshal(buf, &base); err != nil {
 		return fmt.Errorf("parsing baseline %s: %w", *baseline, err)
 	}
+	if err := checkSchema(base.Schema); err != nil {
+		return fmt.Errorf("baseline %s: %w", *baseline, err)
+	}
+	if len(base.Rows) == 0 {
+		// A sweep document (bench-v1/v2) parses but carries "points", not
+		// "benchmarks" — gating against it would pass vacuously.
+		return fmt.Errorf("baseline %s contains no benchmark rows (a sweep document is not a bench baseline)", *baseline)
+	}
 
 	byName := make(map[string]benchRow, len(fresh))
 	for _, row := range fresh {
@@ -160,6 +169,34 @@ func run(args []string) error {
 	fmt.Printf("bench gate passed: %d benchmarks within ±%.0f%% of %s\n",
 		len(base.Rows), 100**tolerance, *baseline)
 	return nil
+}
+
+// acceptedSchemas are the BENCH document schemas this tool understands: its
+// native bench-core documents, plus both revisions of the sweep document
+// (mobilegossip.SweepSchemaV1/V2 — v2 added the sweep seed and mobility
+// churn columns without touching the fields benchgate reads). An empty tag
+// is tolerated for hand-written baselines.
+var acceptedSchemas = map[string]bool{
+	"":                           true,
+	"mobilegossip/bench-core-v1": true,
+	"mobilegossip/bench-v1":      true,
+	"mobilegossip/bench-v2":      true,
+}
+
+// checkSchema rejects baselines from a future or foreign schema instead of
+// silently comparing fields that may have changed meaning.
+func checkSchema(schema string) error {
+	if acceptedSchemas[schema] {
+		return nil
+	}
+	known := make([]string, 0, len(acceptedSchemas))
+	for s := range acceptedSchemas {
+		if s != "" {
+			known = append(known, s)
+		}
+	}
+	sort.Strings(known)
+	return fmt.Errorf("unsupported schema %q (accepted: %s)", schema, strings.Join(known, ", "))
 }
 
 // benchLine matches `go test -bench -benchmem` result lines, e.g.

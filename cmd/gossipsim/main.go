@@ -19,11 +19,24 @@
 //	gossipsim -alg sharedbit -n 64,128,256 -k 8 -tau 1 -trials 5
 //	gossipsim -alg sharedbit -n 64 -k 4,8,16 -trials 7 -parallel 4 -json
 //
-// The -trace flag prints the potential φ(r) every -trace rounds, which
-// makes the progress dynamics of each algorithm visible (single runs only).
+// Single runs are driven through the stateful session API (mobilegossip.New)
+// and can be checkpointed and resumed:
+//
+//	gossipsim -alg sharedbit -graph waypoint -n 2000 -k 8 -tau 1 \
+//	    -checkpoint run.ckpt -checkpointat 50     # snapshot at round 50, then finish
+//	gossipsim -resume run.ckpt                    # revive the snapshot, run to the end
+//
+// The resumed run's totals are byte-identical to the uninterrupted run's —
+// the checkpoint carries the full deterministic state (token sets, every
+// RNG stream, mobility trajectories).
+//
+// The -trace flag prints the potential φ(r) every -trace rounds; -sample
+// records the φ(r) curve through a PotentialSampler observer and prints it
+// after the run (both single runs only).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -45,8 +58,8 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("gossipsim", flag.ContinueOnError)
 	var (
-		algName   = fs.String("alg", "sharedbit", "algorithm: blindmatch|sharedbit|simsharedbit|crowdedbin")
-		graphName = fs.String("graph", "regular", "topology: cycle|path|complete|star|doublestar|grid|hypercube|gnp|regular|barbell|rgg|pa, or a mobility model: waypoint|levy|group|commuter")
+		algName   = fs.String("alg", "sharedbit", "algorithm: "+strings.Join(mobilegossip.AlgorithmNames(), "|"))
+		graphName = fs.String("graph", "regular", "topology or mobility model: "+strings.Join(mobilegossip.TopologyKindNames(), "|"))
 		nList     = fs.String("n", "64", "network size, or comma list for a sweep")
 		kList     = fs.String("k", "8", "token count (1..n), or comma list for a sweep")
 		tau       = fs.Int("tau", 0, "stability factor; 0 = static (τ=∞), t>=1 redraws topology every t rounds")
@@ -70,9 +83,20 @@ func run(args []string) error {
 		trials    = fs.Int("trials", 1, "repetitions per sweep point (>1 switches to the sweep path)")
 		parallel  = fs.Int("parallel", 0, "sweep worker pool size; 0 = GOMAXPROCS (results identical at any value)")
 		asJSON    = fs.Bool("json", false, "emit the sweep as a BENCH-shaped JSON document")
+		ckptFile  = fs.String("checkpoint", "", "write a checkpoint to this file at round -checkpointat, then keep running (single runs only)")
+		ckptAt    = fs.Int("checkpointat", 0, "round at which -checkpoint snapshots the run (0 = when the run finishes)")
+		resumeF   = fs.String("resume", "", "resume from this checkpoint file; the simulation flags come from the checkpoint")
+		sample    = fs.Int("sample", 0, "record φ(r) every this many rounds and print the curve after the run (single runs only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *resumeF != "" {
+		return runResume(*resumeF, obsOptions{
+			trace: *trace, traceFile: *traceFile, sample: *sample,
+			ckptFile: *ckptFile, ckptAt: *ckptAt,
+		})
 	}
 
 	alg, err := mobilegossip.ParseAlgorithm(*algName)
@@ -111,8 +135,8 @@ func run(args []string) error {
 	}
 
 	if len(ns) > 1 || len(ks) > 1 || *trials > 1 || *asJSON {
-		if *trace > 0 || *traceFile != "" {
-			return fmt.Errorf("-trace and -tracefile apply to single runs only, not sweeps")
+		if *trace > 0 || *traceFile != "" || *sample > 0 || *ckptFile != "" {
+			return fmt.Errorf("-trace, -tracefile, -sample and -checkpoint apply to single runs only, not sweeps")
 		}
 		var points []mobilegossip.Config
 		for _, n := range ns {
@@ -122,7 +146,16 @@ func run(args []string) error {
 		}
 		return runSweep(points, *trials, *seed, *parallel, *asJSON)
 	}
-	return runSingle(mkConfig(ns[0], ks[0]), *seed, *trace, *traceFile, *epsilon, *tau)
+	cfg := mkConfig(ns[0], ks[0])
+	cfg.Seed = *seed
+	sim, err := mobilegossip.New(cfg)
+	if err != nil {
+		return err
+	}
+	return driveSingle(sim, obsOptions{
+		trace: *trace, traceFile: *traceFile, sample: *sample,
+		ckptFile: *ckptFile, ckptAt: *ckptAt,
+	})
 }
 
 // runSweep executes the n×k grid on the worker pool and prints one
@@ -163,39 +196,122 @@ func runSweep(points []mobilegossip.Config, trials int, seed uint64, parallel in
 	return nil
 }
 
-// runSingle is the classic one-execution path with tracing support.
-func runSingle(cfg mobilegossip.Config, seed uint64, trace int, traceFile string, epsilon float64, tau int) error {
-	cfg.Seed = seed
-	if traceFile != "" {
-		f, err := os.Create(traceFile)
+// obsOptions bundles the observability/checkpoint flags shared by the
+// fresh-run and resume paths.
+type obsOptions struct {
+	trace     int
+	traceFile string
+	sample    int
+	ckptFile  string
+	ckptAt    int
+}
+
+// runResume revives a checkpointed session and drives it to completion.
+func runResume(path string, opts obsOptions) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	sim, err := mobilegossip.Resume(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("resumed from %s at round %d (φ=%d)\n", path, sim.Round(), sim.Potential())
+	return driveSingle(sim, opts)
+}
+
+// driveSingle attaches the requested observers, runs the session to
+// completion (snapshotting at -checkpointat if asked), and prints the
+// summary.
+func driveSingle(sim *mobilegossip.Simulation, opts obsOptions) error {
+	var tracer *mobilegossip.TraceObserver
+	if opts.traceFile != "" {
+		f, err := os.Create(opts.traceFile)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		cfg.TraceWriter = f
+		tracer = mobilegossip.NewTraceObserver(f)
+		sim.Observe(tracer)
 	}
-	if trace > 0 {
-		every := trace
-		cfg.OnRound = func(r, phi int) {
-			if r%every == 0 {
-				fmt.Printf("round %8d  φ=%d\n", r, phi)
-			}
-		}
+	if opts.trace > 0 {
+		every := opts.trace
+		sim.Observe(roundPrinter{every: every})
+	}
+	var sampler *mobilegossip.PotentialSampler
+	if opts.sample > 0 {
+		sampler = mobilegossip.NewPotentialSampler(opts.sample)
+		sim.Observe(sampler)
 	}
 
 	start := time.Now()
-	res, err := mobilegossip.Run(cfg)
+	if opts.ckptFile != "" && opts.ckptAt > 0 {
+		for !sim.Done() && sim.Round() < opts.ckptAt {
+			if _, err := sim.Step(); err != nil {
+				return err
+			}
+		}
+		if err := writeCheckpoint(sim, opts.ckptFile); err != nil {
+			return err
+		}
+	}
+	res, err := sim.Run(context.Background())
+	if err == nil && tracer != nil {
+		// A failed trace stream must fail the command (as the legacy
+		// TraceWriter path did), not ship a truncated JSONL with exit 0.
+		err = tracer.Err()
+	}
 	if err != nil {
 		return err
 	}
+	if opts.ckptFile != "" && opts.ckptAt <= 0 {
+		if err := writeCheckpoint(sim, opts.ckptFile); err != nil {
+			return err
+		}
+	}
 	elapsed := time.Since(start)
+	return printResult(sim, res, sampler, elapsed)
+}
 
+// writeCheckpoint snapshots the session to path.
+func writeCheckpoint(sim *mobilegossip.Simulation, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := sim.Checkpoint(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("checkpoint written to %s at round %d (φ=%d)\n", path, sim.Round(), sim.Potential())
+	return nil
+}
+
+// roundPrinter is the -trace observer: φ every N rounds.
+type roundPrinter struct {
+	mobilegossip.NopObserver
+	every int
+}
+
+func (rp roundPrinter) EndRound(stats mobilegossip.RoundStats) {
+	if stats.Round%rp.every == 0 {
+		fmt.Printf("round %8d  φ=%d\n", stats.Round, stats.Potential)
+	}
+}
+
+// printResult renders the single-run summary table.
+func printResult(sim *mobilegossip.Simulation, res mobilegossip.Result, sampler *mobilegossip.PotentialSampler, elapsed time.Duration) error {
+	cfg := sim.Config()
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "algorithm\t%s\n", res.Algorithm)
-	fmt.Fprintf(tw, "topology\t%s (n=%d, τ=%s)\n", res.Topology, cfg.N, tauString(tau))
+	fmt.Fprintf(tw, "topology\t%s (n=%d, τ=%s)\n", res.Topology, cfg.N, tauString(cfg.Tau))
 	fmt.Fprintf(tw, "tokens\t%d\n", cfg.K)
-	if epsilon > 0 {
-		fmt.Fprintf(tw, "objective\tε-gossip (ε=%.2f)\n", epsilon)
+	if cfg.Epsilon > 0 {
+		fmt.Fprintf(tw, "objective\tε-gossip (ε=%.2f)\n", cfg.Epsilon)
 	} else {
 		fmt.Fprintf(tw, "objective\tgossip (all nodes learn all tokens)\n")
 	}
@@ -212,7 +328,16 @@ func runSingle(cfg mobilegossip.Config, seed uint64, trace int, traceFile string
 	}
 	fmt.Fprintf(tw, "final φ\t%d\n", res.FinalPotential)
 	fmt.Fprintf(tw, "wall time\t%v\n", elapsed.Round(time.Millisecond))
-	return tw.Flush()
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if sampler != nil {
+		fmt.Println("\npotential curve (from -sample):")
+		for _, s := range sampler.Samples() {
+			fmt.Printf("  round %8d  φ=%d\n", s.Round, s.Potential)
+		}
+	}
+	return nil
 }
 
 // parseIntList parses "64" or "64,128,256" into positive ints.

@@ -18,6 +18,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"os"
@@ -27,10 +28,14 @@ import (
 )
 
 func main() {
-	const (
-		phones = 80
-		seed   = 11
-	)
+	short := flag.Bool("short", false, "run a smaller mesh (for CI)")
+	flag.Parse()
+
+	const seed = 11
+	phones := 80
+	if *short {
+		phones = 48
+	}
 
 	mesh := mobilegossip.Topology{Kind: mobilegossip.GNP} // ad-hoc shelter mesh
 

@@ -29,6 +29,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"os"
@@ -38,11 +39,14 @@ import (
 )
 
 func main() {
-	const (
-		crowd    = 600 // phones on the grounds
-		messages = 8   // simultaneous chat posts
-		seed     = 7
-	)
+	short := flag.Bool("short", false, "run a smaller crowd (for CI)")
+	flag.Parse()
+
+	const seed = 7
+	crowd, messages := 600, 8 // phones on the grounds, simultaneous posts
+	if *short {
+		crowd, messages = 150, 4
+	}
 
 	phases := []struct {
 		label string

@@ -33,8 +33,12 @@ func main() {
 		k      = flag.Int("k", 16, "simultaneously injected alerts")
 		rounds = flag.Int("rounds", 1000, "simulated rounds in the measurement window")
 		seed   = flag.Uint64("seed", 1, "run seed")
+		short  = flag.Bool("short", false, "run a small city and window (for CI)")
 	)
 	flag.Parse()
+	if *short {
+		*n, *rounds = 20_000, 200
+	}
 
 	fmt.Printf("metropolis: %d phones, %d alerts, RGG proximity mesh\n", *n, *k)
 

@@ -22,6 +22,7 @@ package main
 
 import (
 	"bytes"
+	"flag"
 	"fmt"
 	"log"
 	"os"
@@ -32,11 +33,13 @@ import (
 )
 
 func main() {
-	const (
-		crowd = 64
-		posts = 4
-		seed  = 13
-	)
+	const seed = 13
+	short := flag.Bool("short", false, "run a smaller crowd (for CI)")
+	flag.Parse()
+	crowd, posts := 64, 4
+	if *short {
+		crowd, posts = 48, 3
+	}
 
 	topo := mobilegossip.Topology{Kind: mobilegossip.DoubleStar}
 

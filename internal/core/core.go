@@ -16,6 +16,7 @@ package core
 import (
 	"fmt"
 
+	"mobilegossip/internal/ckpt"
 	"mobilegossip/internal/mtm"
 	"mobilegossip/internal/tokenset"
 )
@@ -123,4 +124,39 @@ func (st *State) AllDone() bool {
 	}
 	st.done = tokenset.AllKnowAll(st.sets, st.k)
 	return st.done
+}
+
+// CheckpointTo serializes the mutable run state: every node's token set
+// (delta-encoded, O(tokens learned)) and the completion cache.
+func (st *State) CheckpointTo(w *ckpt.Writer) {
+	w.Section("core.state")
+	w.Int(st.n)
+	w.Int(st.universe)
+	w.Bool(st.done)
+	for _, s := range st.sets {
+		s.CheckpointTo(w)
+	}
+}
+
+// RestoreFrom loads a CheckpointTo stream into a State freshly built from
+// the same configuration. Sets only grow, so adding the checkpointed
+// membership over the initial assignment reproduces the snapshot exactly.
+func (st *State) RestoreFrom(r *ckpt.Reader) error {
+	r.Section("core.state")
+	n, universe := r.Int(), r.Int()
+	done := r.Bool()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if n != st.n || universe != st.universe {
+		return fmt.Errorf("core: checkpoint for n=%d universe=%d, state has n=%d universe=%d",
+			n, universe, st.n, st.universe)
+	}
+	for _, s := range st.sets {
+		if err := s.RestoreFrom(r); err != nil {
+			return err
+		}
+	}
+	st.done = done
+	return r.Err()
 }

@@ -2,9 +2,11 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"math/bits"
 	"sort"
 
+	"mobilegossip/internal/ckpt"
 	"mobilegossip/internal/mtm"
 	"mobilegossip/internal/prand"
 	"mobilegossip/internal/rumor"
@@ -339,6 +341,125 @@ func (p *CrowdedBin) Exchange(r int, c *mtm.Conn) {
 
 // Done implements mtm.Protocol.
 func (p *CrowdedBin) Done() bool { return p.st.AllDone() }
+
+// CheckpointTo serializes every node's mutable schedule state. Map-backed
+// state is written in sorted key order so checkpoints of identical states
+// are byte-identical; the spelled-bit accumulators (hear) are live across
+// round boundaries — a block's spelling rounds are logN engine rounds
+// apart under the round-robin simulation — and are serialized too. The
+// per-round scratch (curBit, curKey, pushToken, …) is dead at a round
+// boundary and is regenerated by step on the next Tag call.
+func (p *CrowdedBin) CheckpointTo(w *ckpt.Writer) {
+	w.Section("crowdedbin")
+	n := p.st.n
+	w.Int(n)
+	w.Ints(p.est)
+	w.Ints(p.pending)
+	w.Ints(p.activeInst)
+	w.Ints(p.startSim)
+	w.Ints(p.deferMerge)
+	w.Bools(p.deferPhase)
+	for u := 0; u < n; u++ {
+		writeTagMap(w, p.tags[u])
+		writeTagMap(w, p.stash[u])
+
+		hearKeys := make([]int, 0, len(p.hear[u]))
+		for k := range p.hear[u] {
+			hearKeys = append(hearKeys, k)
+		}
+		sort.Ints(hearKeys)
+		w.U64(uint64(len(hearKeys)))
+		for _, k := range hearKeys {
+			w.Int(k)
+			w.U64(p.hear[u][k])
+		}
+
+		tokKeys := make([]uint64, 0, len(p.tokenOf[u]))
+		for k := range p.tokenOf[u] {
+			tokKeys = append(tokKeys, k)
+		}
+		sort.Slice(tokKeys, func(i, j int) bool { return tokKeys[i] < tokKeys[j] })
+		w.U64(uint64(len(tokKeys)))
+		for _, k := range tokKeys {
+			w.U64(k)
+			w.Int(p.tokenOf[u][k])
+		}
+	}
+}
+
+// RestoreFrom loads a CheckpointTo stream into a protocol freshly built
+// from the same configuration, replacing the initialization draws with the
+// checkpointed state.
+func (p *CrowdedBin) RestoreFrom(r *ckpt.Reader) error {
+	r.Section("crowdedbin")
+	n := r.Int()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if n != p.st.n {
+		return fmt.Errorf("core: CrowdedBin checkpoint for %d nodes, protocol has %d", n, p.st.n)
+	}
+	for _, dst := range [][]int{p.est, p.pending, p.activeInst, p.startSim, p.deferMerge} {
+		r.IntsInto(dst)
+	}
+	r.BoolsInto(p.deferPhase)
+	if err := r.Err(); err != nil {
+		return err
+	}
+	for u := 0; u < n; u++ {
+		p.tags[u] = readTagMap(r)
+		p.stash[u] = readTagMap(r)
+
+		hearLen := int(r.U64())
+		hear := make(map[int]uint64, hearLen)
+		for i := 0; i < hearLen && r.Err() == nil; i++ {
+			k := r.Int()
+			hear[k] = r.U64()
+		}
+		p.hear[u] = hear
+
+		tokLen := int(r.U64())
+		tokenOf := make(map[uint64]int, tokLen)
+		for i := 0; i < tokLen && r.Err() == nil; i++ {
+			k := r.U64()
+			tokenOf[k] = r.Int()
+		}
+		p.tokenOf[u] = tokenOf
+
+		// The per-round step guard restarts cleanly: any value below the
+		// resumed round works, and rounds are 1-based.
+		p.stepRound[u] = 0
+	}
+	return r.Err()
+}
+
+// writeTagMap serializes a per-node (instance,bin)→tags map sorted by key.
+func writeTagMap(w *ckpt.Writer, m map[int][]uint64) {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	w.U64(uint64(len(keys)))
+	for _, k := range keys {
+		w.Int(k)
+		w.U64s(m[k])
+	}
+}
+
+// readTagMap deserializes a writeTagMap stream.
+func readTagMap(r *ckpt.Reader) map[int][]uint64 {
+	n := int(r.U64())
+	m := make(map[int][]uint64, n)
+	for i := 0; i < n; i++ {
+		k := r.Int()
+		m[k] = r.U64s()
+		if r.Err() != nil {
+			return m
+		}
+	}
+	return m
+}
 
 // upgradeTo raises node u's estimate toward target (capped at logN),
 // deferring if the node is mid-phase.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"mobilegossip/internal/ckpt"
 	"mobilegossip/internal/mtm"
 	"mobilegossip/internal/prand"
 	"mobilegossip/internal/tokenset"
@@ -63,6 +64,25 @@ func NewEpsilonOver(inner SetProtocol, eps float64, checkEvery int) *EpsilonGoss
 
 // State exposes the run state for instrumentation.
 func (p *EpsilonGossip) State() *State { return p.inner.State() }
+
+// Inner exposes the wrapped protocol (for checkpointing its own state).
+func (p *EpsilonGossip) Inner() SetProtocol { return p.inner }
+
+// CheckpointTo serializes the wrapper's mutable state (the solved latch
+// and the Done-call counter that phases the throttled detector).
+func (p *EpsilonGossip) CheckpointTo(w *ckpt.Writer) {
+	w.Section("epsilon")
+	w.Bool(p.solved)
+	w.Int(p.rounds)
+}
+
+// RestoreFrom loads a CheckpointTo stream.
+func (p *EpsilonGossip) RestoreFrom(r *ckpt.Reader) error {
+	r.Section("epsilon")
+	p.solved = r.Bool()
+	p.rounds = r.Int()
+	return r.Err()
+}
 
 // TagBits implements mtm.Protocol.
 func (p *EpsilonGossip) TagBits() int { return p.inner.TagBits() }

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"fmt"
+
+	"mobilegossip/internal/ckpt"
 	"mobilegossip/internal/eqtest"
 	"mobilegossip/internal/leader"
 	"mobilegossip/internal/mtm"
@@ -61,6 +64,30 @@ func (p *SimSharedBit) State() *State { return p.st }
 
 // Leader exposes the embedded election for instrumentation.
 func (p *SimSharedBit) Leader() *leader.Protocol { return p.lead }
+
+// CheckpointTo serializes the protocol's mutable state. The seed space and
+// each node's private seed are reconstructed from the run configuration;
+// only the election's progress mutates during a run. The string cache is
+// rebuilt lazily on demand.
+func (p *SimSharedBit) CheckpointTo(w *ckpt.Writer) {
+	w.Section("simsharedbit")
+	w.U64(p.space.Size())
+	p.lead.CheckpointTo(w)
+}
+
+// RestoreFrom loads a CheckpointTo stream into a protocol freshly built
+// from the same configuration.
+func (p *SimSharedBit) RestoreFrom(r *ckpt.Reader) error {
+	r.Section("simsharedbit")
+	size := r.U64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if size != p.space.Size() {
+		return fmt.Errorf("core: checkpoint seed space |R′|=%d, protocol has %d", size, p.space.Size())
+	}
+	return p.lead.RestoreFrom(r)
+}
 
 // stringFor returns the R′ member node u currently believes is shared.
 func (p *SimSharedBit) stringFor(u mtm.NodeID) *prand.SharedString {

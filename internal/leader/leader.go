@@ -22,6 +22,7 @@ package leader
 import (
 	"math/bits"
 
+	"mobilegossip/internal/ckpt"
 	"mobilegossip/internal/mtm"
 	"mobilegossip/internal/prand"
 )
@@ -92,6 +93,24 @@ func (p *Protocol) ElectedMin() bool {
 		}
 	}
 	return true
+}
+
+// CheckpointTo serializes the election's mutable state (the candidate and
+// payload each node currently holds; ids and bit widths are construction
+// constants).
+func (p *Protocol) CheckpointTo(w *ckpt.Writer) {
+	w.Section("leader")
+	w.Ints(p.cand)
+	w.U64s(p.payload)
+}
+
+// RestoreFrom loads a CheckpointTo stream into a Protocol freshly built
+// with the same ids and payloads.
+func (p *Protocol) RestoreFrom(r *ckpt.Reader) error {
+	r.Section("leader")
+	r.IntsInto(p.cand)
+	r.U64sInto(p.payload)
+	return r.Err()
 }
 
 // TagBits implements mtm.Protocol (b = 1).

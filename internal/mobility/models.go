@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"mobilegossip/internal/ckpt"
 	"mobilegossip/internal/prand"
 )
 
@@ -12,10 +13,17 @@ import (
 // place. All randomness flows from the rng the schedule owns, and both
 // methods are called in a fixed order, so a (model, seed) pair replays to
 // identical trajectories — the determinism the sweep runner depends on.
+//
+// CheckpointTo and RestoreFrom serialize the model's mutable per-node
+// state (destinations, velocities, leg counters, …) so a Schedule can be
+// resumed mid-trajectory without replaying every epoch from the seed; both
+// are called only after Init has sized the state arrays.
 type Model interface {
 	Name() string
 	Init(n int, rng *prand.RNG, x, y []float64)
 	Step(epoch int, rng *prand.RNG, x, y []float64)
+	CheckpointTo(w *ckpt.Writer)
+	RestoreFrom(r *ckpt.Reader) error
 }
 
 // ---------------------------------------------------------------------------
@@ -56,6 +64,25 @@ func (w *waypoint) Init(n int, rng *prand.RNG, x, y []float64) {
 		w.vel[i] = w.speed * (0.5 + rng.Float64())
 		w.wait[i] = 0
 	}
+}
+
+// CheckpointTo implements Model.
+func (w *waypoint) CheckpointTo(ck *ckpt.Writer) {
+	ck.Section("model.waypoint")
+	ck.F64s(w.tx)
+	ck.F64s(w.ty)
+	ck.F64s(w.vel)
+	ck.Ints(w.wait)
+}
+
+// RestoreFrom implements Model.
+func (w *waypoint) RestoreFrom(ck *ckpt.Reader) error {
+	ck.Section("model.waypoint")
+	ck.F64sInto(w.tx)
+	ck.F64sInto(w.ty)
+	ck.F64sInto(w.vel)
+	ck.IntsInto(w.wait)
+	return ck.Err()
 }
 
 func (w *waypoint) Step(_ int, rng *prand.RNG, x, y []float64) {
@@ -113,6 +140,23 @@ func (l *levy) Init(n int, rng *prand.RNG, x, y []float64) {
 		x[i], y[i] = rng.Float64(), rng.Float64()
 		l.left[i] = 0
 	}
+}
+
+// CheckpointTo implements Model.
+func (l *levy) CheckpointTo(ck *ckpt.Writer) {
+	ck.Section("model.levy")
+	ck.F64s(l.dx)
+	ck.F64s(l.dy)
+	ck.Ints(l.left)
+}
+
+// RestoreFrom implements Model.
+func (l *levy) RestoreFrom(ck *ckpt.Reader) error {
+	ck.Section("model.levy")
+	ck.F64sInto(l.dx)
+	ck.F64sInto(l.dy)
+	ck.IntsInto(l.left)
+	return ck.Err()
 }
 
 func (l *levy) Step(_ int, rng *prand.RNG, x, y []float64) {
@@ -232,6 +276,28 @@ func (g *group) Init(n int, rng *prand.RNG, x, y []float64) {
 	}
 }
 
+// CheckpointTo implements Model.
+func (g *group) CheckpointTo(ck *ckpt.Writer) {
+	ck.Section("model.group")
+	ck.F64s(g.cx)
+	ck.F64s(g.cy)
+	ck.F64s(g.ctx)
+	ck.F64s(g.cty)
+	ck.F64s(g.ox)
+	ck.F64s(g.oy)
+	ck.Int32s(g.member)
+}
+
+// RestoreFrom implements Model.
+func (g *group) RestoreFrom(ck *ckpt.Reader) error {
+	ck.Section("model.group")
+	for _, dst := range [][]float64{g.cx, g.cy, g.ctx, g.cty, g.ox, g.oy} {
+		ck.F64sInto(dst)
+	}
+	ck.Int32sInto(g.member)
+	return ck.Err()
+}
+
 func (g *group) Step(_ int, rng *prand.RNG, x, y []float64) {
 	// Centers drift at half speed toward their own waypoints.
 	cs := g.speed / 2
@@ -324,6 +390,27 @@ func (c *commuter) Init(n int, rng *prand.RNG, x, y []float64) {
 		// The day starts at home.
 		x[i], y[i] = c.hx[i], c.hy[i]
 	}
+}
+
+// CheckpointTo implements Model. The commuter's per-node state is fixed at
+// Init, but serializing it keeps every model uniform and robust against
+// future mutation.
+func (c *commuter) CheckpointTo(ck *ckpt.Writer) {
+	ck.Section("model.commuter")
+	ck.F64s(c.hx)
+	ck.F64s(c.hy)
+	ck.F64s(c.wx)
+	ck.F64s(c.wy)
+	ck.F64s(c.vel)
+}
+
+// RestoreFrom implements Model.
+func (c *commuter) RestoreFrom(ck *ckpt.Reader) error {
+	ck.Section("model.commuter")
+	for _, dst := range [][]float64{c.hx, c.hy, c.wx, c.wy, c.vel} {
+		ck.F64sInto(dst)
+	}
+	return ck.Err()
 }
 
 func (c *commuter) Step(epoch int, _ *prand.RNG, x, y []float64) {

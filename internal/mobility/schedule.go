@@ -3,6 +3,7 @@ package mobility
 import (
 	"fmt"
 
+	"mobilegossip/internal/ckpt"
 	"mobilegossip/internal/dyngraph"
 	"mobilegossip/internal/graph"
 	"mobilegossip/internal/prand"
@@ -154,6 +155,70 @@ func (s *Schedule) DeltaFor(r int) dyngraph.Delta {
 		return dyngraph.Delta{}
 	}
 	return s.delta
+}
+
+// CheckpointTo serializes the schedule's mutable trajectory state: the
+// shared RNG stream, the epoch index, every node's position, the model's
+// per-node state, and the current epoch's sorted edge list. The CSR graph
+// itself is not serialized — it is rebuilt from the edge list on restore,
+// byte-identical to the incrementally patched CSR by the Patcher/Builder
+// equivalence invariant (DESIGN.md §8). A resumed schedule therefore
+// continues its trajectory directly instead of replaying every motion
+// epoch from the seed.
+func (s *Schedule) CheckpointTo(w *ckpt.Writer) {
+	w.Section("mobility.schedule")
+	w.Int(s.n)
+	st := s.rng.State()
+	w.U64(st[0])
+	w.U64(st[1])
+	w.U64(st[2])
+	w.U64(st[3])
+	w.Int(s.epoch)
+	w.F64s(s.field.x)
+	w.F64s(s.field.y)
+	s.model.CheckpointTo(w)
+	w.U64s(s.field.edges[s.field.cur])
+}
+
+// RestoreFrom loads a CheckpointTo stream into a schedule freshly built
+// with the same Options, overwriting the round-1 state New materialized.
+// Checkpoints are taken at round boundaries, where the delta that opened
+// the current epoch has already been consumed by the engine, so it is
+// reset rather than serialized.
+func (s *Schedule) RestoreFrom(r *ckpt.Reader) error {
+	r.Section("mobility.schedule")
+	n := r.Int()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if n != s.n {
+		return fmt.Errorf("mobility: checkpoint for %d nodes, schedule has %d", n, s.n)
+	}
+	s.rng.SetState([4]uint64{r.U64(), r.U64(), r.U64(), r.U64()})
+	epoch := r.Int()
+	r.F64sInto(s.field.x)
+	r.F64sInto(s.field.y)
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if err := s.model.RestoreFrom(r); err != nil {
+		return err
+	}
+	edges := r.U64s()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	s.field.edges[0] = append(s.field.edges[0][:0], edges...)
+	s.field.edges[1] = s.field.edges[1][:0]
+	s.field.cur = 0
+	s.epoch = epoch
+	s.delta = dyngraph.Delta{}
+	s.g = s.buildFromScratch(epoch)
+	if !s.opts.Rebuild {
+		s.patcher.Reset(s.g)
+		s.g = s.patcher.Graph()
+	}
+	return nil
 }
 
 // N implements dyngraph.Dynamic.

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"mobilegossip/internal/ckpt"
 	"mobilegossip/internal/dyngraph"
 	"mobilegossip/internal/prand"
 )
@@ -160,7 +161,25 @@ type Result struct {
 	EdgesRemoved int64
 }
 
-// Engine drives a Protocol over a dynamic topology.
+// RoundStats reports one executed round: the engine meters for exactly
+// that round (not running totals) plus whether the protocol reached its
+// objective at the round's end.
+type RoundStats struct {
+	Round        int   // the 1-based round just executed
+	Connections  int   // accepted connections this round
+	Proposals    int   // proposals sent this round
+	ControlBits  int64 // control bits metered this round
+	TokensMoved  int64 // token transfers metered this round
+	EdgesAdded   int   // topology churn entering this round (delta schedules)
+	EdgesRemoved int
+	Done         bool // protocol reported Done at the end of this round
+}
+
+// Engine drives a Protocol over a dynamic topology. It is a resumable step
+// state machine: Step executes exactly one round, Run loops Step to
+// completion, and CheckpointTo/RestoreFrom serialize the engine's mutable
+// state (round counter, meters, per-node RNG streams) so a run can be
+// resumed byte-identically at any round boundary.
 //
 // All per-round working state lives in scratch buffers owned by the engine
 // and allocated once in NewEngine: tag and action arrays, the flat proposal
@@ -173,6 +192,16 @@ type Engine struct {
 	proto Protocol
 	cfg   Config
 	rngs  []*prand.RNG
+
+	// Step state machine.
+	round      int    // rounds executed so far
+	started    bool   // the pre-round-1 Done check has run
+	completed  bool   // protocol reported Done
+	overBudget bool   // some connection exceeded its budget
+	failed     error  // a model-contract violation poisoned the run
+	tagMask    uint64 // mask of the protocol's declared tag width
+	deltaDyn   dyngraph.DeltaDynamic
+	res        Result // running totals
 
 	// Per-round scratch, reused across rounds (sized to n once).
 	tags    []uint64 // advertised tags, by node
@@ -194,6 +223,10 @@ var ErrBudgetExceeded = errors.New("mtm: connection exceeded communication budge
 // ErrTagTooWide is returned when a protocol advertises more bits than its
 // declared tag length.
 var ErrTagTooWide = errors.New("mtm: tag wider than declared tag length")
+
+// ErrRunFinished is returned by Step once the run is over (protocol Done,
+// MaxRounds exhausted, or a prior round failed).
+var ErrRunFinished = errors.New("mtm: run already finished")
 
 // NewEngine returns an engine for proto over dyn.
 func NewEngine(dyn dyngraph.Dynamic, proto Protocol, cfg Config) *Engine {
@@ -222,6 +255,17 @@ func NewEngine(dyn dyngraph.Dynamic, proto Protocol, cfg Config) *Engine {
 	for u := 0; u < n; u++ {
 		e.rngs[u] = prand.New(prand.Mix64(cfg.Seed ^ (uint64(u)+1)*0xd6e8feb86659fd93))
 	}
+	if b := proto.TagBits(); b > 0 {
+		if b >= 64 {
+			e.tagMask = ^uint64(0)
+		} else {
+			e.tagMask = (uint64(1) << uint(b)) - 1
+		}
+	}
+	// Delta-capable schedules (internal/mobility) report per-round edge
+	// churn; the engine only accounts it — the incremental CSR maintenance
+	// happens inside the schedule's At.
+	e.deltaDyn, _ = dyn.(dyngraph.DeltaDynamic)
 	return e
 }
 
@@ -229,152 +273,268 @@ func NewEngine(dyn dyngraph.Dynamic, proto Protocol, cfg Config) *Engine {
 // initialization randomness before round 1, e.g. SimSharedBit seed choice).
 func (e *Engine) NodeRNG(u NodeID) *prand.RNG { return e.rngs[u] }
 
-// Run executes rounds until the protocol is Done or MaxRounds elapse.
-func (e *Engine) Run() (Result, error) {
-	var res Result
+// SetProtocol swaps the protocol the engine drives. The replacement must
+// behave identically to the original (same TagBits, same decisions — e.g.
+// a trace.Wrap of it); it exists so observers that tap the protocol layer
+// can be attached to an already-constructed engine at a round boundary.
+func (e *Engine) SetProtocol(p Protocol) { e.proto = p }
+
+// start runs the one-time pre-round-1 protocol check (an already-Done
+// protocol completes the run in zero rounds, as the closed loop did).
+// Restored engines skip it: their checkpoint recorded a started run, and
+// re-invoking Done would disturb protocols whose Done has side effects
+// (EpsilonGossip counts its calls).
+func (e *Engine) start() {
+	if e.started {
+		return
+	}
+	e.started = true
 	if e.proto.Done() {
-		res.Completed = true
-		return res, nil
+		e.completed = true
+		e.res.Completed = true
 	}
+}
+
+// Finished reports whether the run is over: the protocol reached its
+// objective, MaxRounds elapsed, or a round failed a model contract.
+func (e *Engine) Finished() bool {
+	e.start()
+	return e.completed || e.failed != nil || e.round >= e.cfg.MaxRounds
+}
+
+// Round returns the number of rounds executed so far.
+func (e *Engine) Round() int { return e.round }
+
+// Failed returns the model-contract violation that poisoned the run, if
+// any. A failed run reports Finished but its Result is partial.
+func (e *Engine) Failed() error { return e.failed }
+
+// Result returns the running totals (final once Finished).
+func (e *Engine) Result() Result { return e.res }
+
+// OverBudget reports whether any connection so far exceeded its
+// communication budget (surfaced by Run as ErrBudgetExceeded).
+func (e *Engine) OverBudget() bool { return e.overBudget }
+
+// Step executes exactly one round and returns its per-round stats. Calling
+// Step on a finished run returns ErrRunFinished.
+func (e *Engine) Step() (RoundStats, error) {
+	e.start()
+	if e.completed || e.round >= e.cfg.MaxRounds {
+		return RoundStats{Round: e.round, Done: e.completed}, ErrRunFinished
+	}
+	if e.failed != nil {
+		return RoundStats{Round: e.round}, e.failed
+	}
+
 	n := e.dyn.N()
-	b := e.proto.TagBits()
-	tagMask := uint64(0)
-	if b > 0 {
-		if b >= 64 {
-			tagMask = ^uint64(0)
-		} else {
-			tagMask = (uint64(1) << uint(b)) - 1
+	tags, acts := e.tags, e.acts
+	r := e.round + 1
+	stats := RoundStats{Round: r}
+
+	g := e.dyn.At(r)
+	if e.deltaDyn != nil {
+		d := e.deltaDyn.DeltaFor(r)
+		stats.EdgesAdded = len(d.Added)
+		stats.EdgesRemoved = len(d.Removed)
+		e.res.EdgesAdded += int64(stats.EdgesAdded)
+		e.res.EdgesRemoved += int64(stats.EdgesRemoved)
+	}
+
+	// Advertise: every node picks its b-bit tag.
+	for u := 0; u < n; u++ {
+		tags[u] = e.proto.Tag(r, u)
+		if tags[u]&^e.tagMask != 0 {
+			e.failed = fmt.Errorf("%w: node %d round %d tag %#x with b=%d",
+				ErrTagTooWide, u, r, tags[u], e.proto.TagBits())
+			return stats, e.failed
 		}
 	}
-	tags, acts := e.tags, e.acts
-	overBudget := false
-	// Delta-capable schedules (internal/mobility) report per-round edge
-	// churn; the engine only accounts it — the incremental CSR maintenance
-	// happens inside the schedule's At.
-	deltaDyn, _ := e.dyn.(dyngraph.DeltaDynamic)
 
-	for r := 1; r <= e.cfg.MaxRounds; r++ {
-		g := e.dyn.At(r)
-		if deltaDyn != nil {
-			d := deltaDyn.DeltaFor(r)
-			res.EdgesAdded += int64(len(d.Added))
-			res.EdgesRemoved += int64(len(d.Removed))
-		}
-
-		// Advertise: every node picks its b-bit tag.
+	// Scan + decide.
+	if e.cfg.Concurrent {
+		e.decideConcurrent(r, g, tags, acts)
+	} else {
+		view := e.view
 		for u := 0; u < n; u++ {
-			tags[u] = e.proto.Tag(r, u)
-			if tags[u]&^tagMask != 0 {
-				return res, fmt.Errorf("%w: node %d round %d tag %#x with b=%d",
-					ErrTagTooWide, u, r, tags[u], b)
+			view = view[:0]
+			for _, v := range g.Adjacency(u) {
+				view = append(view, Neighbor{ID: int(v), Tag: tags[v]})
 			}
+			acts[u] = e.proto.Decide(r, u, view, e.rngs[u])
 		}
+		e.view = view[:0] // keep any growth for the next round
+	}
 
-		// Scan + decide.
-		if e.cfg.Concurrent {
-			e.decideConcurrent(r, g, tags, acts)
-		} else {
-			view := e.view
-			for u := 0; u < n; u++ {
-				view = view[:0]
-				for _, v := range g.Adjacency(u) {
-					view = append(view, Neighbor{ID: int(v), Tag: tags[v]})
-				}
-				acts[u] = e.proto.Decide(r, u, view, e.rngs[u])
-			}
-			e.view = view[:0] // keep any growth for the next round
+	// Deliver proposals into the flat inbox: a proposer cannot receive,
+	// and proposals to proposers are lost (the target is busy sending).
+	// Pass 1 validates each proposal and counts per-target arrivals;
+	// pass 2 prefix-sums the counts into offsets and groups the
+	// proposers by target — in ascending proposer order, exactly the
+	// arrival order of the old per-target append lists.
+	for u := 0; u < n; u++ {
+		e.inCnt[u] = 0
+		e.targets[u] = -1
+	}
+	for u := 0; u < n; u++ {
+		if !acts[u].Propose {
+			continue
 		}
-
-		// Deliver proposals into the flat inbox: a proposer cannot receive,
-		// and proposals to proposers are lost (the target is busy sending).
-		// Pass 1 validates each proposal and counts per-target arrivals;
-		// pass 2 prefix-sums the counts into offsets and groups the
-		// proposers by target — in ascending proposer order, exactly the
-		// arrival order of the old per-target append lists.
-		for u := 0; u < n; u++ {
-			e.inCnt[u] = 0
-			e.targets[u] = -1
+		stats.Proposals++
+		t := acts[u].Target
+		if t < 0 || t >= n || t == u || !g.HasEdge(u, t) {
+			continue // malformed proposal is simply lost
 		}
-		for u := 0; u < n; u++ {
-			if !acts[u].Propose {
-				continue
-			}
-			res.Proposals++
-			t := acts[u].Target
-			if t < 0 || t >= n || t == u || !g.HasEdge(u, t) {
-				continue // malformed proposal is simply lost
-			}
-			if acts[t].Propose {
-				continue // target is itself proposing; cannot receive
-			}
-			e.targets[u] = int32(t)
+		if acts[t].Propose {
+			continue // target is itself proposing; cannot receive
+		}
+		e.targets[u] = int32(t)
+		e.inCnt[t]++
+	}
+	e.inOff[0] = 0
+	for v := 0; v < n; v++ {
+		e.inOff[v+1] = e.inOff[v] + e.inCnt[v]
+		e.inCnt[v] = 0 // reused as the fill cursor below
+	}
+	for u := 0; u < n; u++ {
+		if t := e.targets[u]; t >= 0 {
+			e.inbox[e.inOff[t]+e.inCnt[t]] = int32(u)
 			e.inCnt[t]++
 		}
-		e.inOff[0] = 0
-		for v := 0; v < n; v++ {
-			e.inOff[v+1] = e.inOff[v] + e.inCnt[v]
-			e.inCnt[v] = 0 // reused as the fill cursor below
-		}
-		for u := 0; u < n; u++ {
-			if t := e.targets[u]; t >= 0 {
-				e.inbox[e.inOff[t]+e.inCnt[t]] = int32(u)
-				e.inCnt[t]++
-			}
-		}
+	}
 
-		// Accept: each listener with proposals picks one uniformly with its
-		// own randomness; connections therefore form a matching.
-		pairs := e.pairs[:0]
-		for v := 0; v < n; v++ {
-			in := e.inbox[e.inOff[v]:e.inOff[v+1]]
-			if len(in) == 0 {
-				continue
-			}
-			u := in[e.rngs[v].Intn(len(in))]
-			pairs = append(pairs, [2]int32{u, int32(v)})
+	// Accept: each listener with proposals picks one uniformly with its
+	// own randomness; connections therefore form a matching.
+	pairs := e.pairs[:0]
+	for v := 0; v < n; v++ {
+		in := e.inbox[e.inOff[v]:e.inOff[v+1]]
+		if len(in) == 0 {
+			continue
 		}
-		e.pairs = pairs[:0] // keep any growth for the next round
+		u := in[e.rngs[v].Intn(len(in))]
+		pairs = append(pairs, [2]int32{u, int32(v)})
+	}
+	e.pairs = pairs[:0] // keep any growth for the next round
 
-		// Communicate over each accepted connection; the Conn records live
-		// in the engine's reusable slice.
-		conns := e.conns[:0]
-		for _, p := range pairs {
-			u, v := int(p[0]), int(p[1])
-			conns = append(conns, Conn{
-				Round: r, Initiator: u, Responder: v,
-				InitRNG: e.rngs[u], RespRNG: e.rngs[v],
-				bitLimit: e.cfg.BitLimit, tokenLimit: e.cfg.TokenLimit,
-			})
-		}
-		e.conns = conns[:0] // keep any growth for the next round
-		if e.cfg.Concurrent {
-			e.exchangeConcurrent(r, conns)
-		} else {
-			for i := range conns {
-				e.proto.Exchange(r, &conns[i])
-			}
-		}
+	// Communicate over each accepted connection; the Conn records live
+	// in the engine's reusable slice.
+	conns := e.conns[:0]
+	for _, p := range pairs {
+		u, v := int(p[0]), int(p[1])
+		conns = append(conns, Conn{
+			Round: r, Initiator: u, Responder: v,
+			InitRNG: e.rngs[u], RespRNG: e.rngs[v],
+			bitLimit: e.cfg.BitLimit, tokenLimit: e.cfg.TokenLimit,
+		})
+	}
+	e.conns = conns[:0] // keep any growth for the next round
+	if e.cfg.Concurrent {
+		e.exchangeConcurrent(r, conns)
+	} else {
 		for i := range conns {
-			c := &conns[i]
-			res.Connections++
-			res.ControlBits += int64(c.bitsUsed)
-			res.TokensMoved += int64(c.tokensUsed)
-			if c.overBudget {
-				overBudget = true
-			}
+			e.proto.Exchange(r, &conns[i])
 		}
+	}
+	for i := range conns {
+		c := &conns[i]
+		stats.Connections++
+		stats.ControlBits += int64(c.bitsUsed)
+		stats.TokensMoved += int64(c.tokensUsed)
+		if c.overBudget {
+			e.overBudget = true
+		}
+	}
+	e.res.Connections += int64(stats.Connections)
+	e.res.Proposals += int64(stats.Proposals)
+	e.res.ControlBits += stats.ControlBits
+	e.res.TokensMoved += stats.TokensMoved
 
-		res.Rounds = r
-		if e.cfg.OnRound != nil {
-			e.cfg.OnRound(r)
-		}
-		if e.proto.Done() {
-			res.Completed = true
-			break
+	e.round = r
+	e.res.Rounds = r
+	if e.cfg.OnRound != nil {
+		e.cfg.OnRound(r)
+	}
+	if e.proto.Done() {
+		e.completed = true
+		e.res.Completed = true
+		stats.Done = true
+	}
+	return stats, nil
+}
+
+// Run executes rounds until the protocol is Done or MaxRounds elapse — the
+// closed-loop wrapper over the Step machine that preserves the original
+// blocking API (and its semantics: budget violations surface only after
+// the run finishes).
+func (e *Engine) Run() (Result, error) {
+	for !e.Finished() {
+		if _, err := e.Step(); err != nil {
+			return e.res, err
 		}
 	}
-	if overBudget {
-		return res, ErrBudgetExceeded
+	if e.failed != nil {
+		// A run poisoned by an earlier Step must keep reporting its
+		// failure, not convert the partial Result into a clean return.
+		return e.res, e.failed
 	}
-	return res, nil
+	if e.overBudget {
+		return e.res, ErrBudgetExceeded
+	}
+	return e.res, nil
+}
+
+// CheckpointTo serializes the engine's mutable state: the step-machine
+// flags, the running meters, and every node's RNG stream. Scratch buffers
+// carry no live state at a round boundary and are not serialized.
+func (e *Engine) CheckpointTo(w *ckpt.Writer) {
+	w.Section("mtm.engine")
+	w.Bool(e.started)
+	w.Bool(e.completed)
+	w.Bool(e.overBudget)
+	w.Int(e.round)
+	w.Int(e.res.Rounds)
+	w.Bool(e.res.Completed)
+	w.I64(e.res.Connections)
+	w.I64(e.res.Proposals)
+	w.I64(e.res.ControlBits)
+	w.I64(e.res.TokensMoved)
+	w.I64(e.res.EdgesAdded)
+	w.I64(e.res.EdgesRemoved)
+	w.U64(uint64(len(e.rngs)))
+	for _, rng := range e.rngs {
+		s := rng.State()
+		w.U64(s[0])
+		w.U64(s[1])
+		w.U64(s[2])
+		w.U64(s[3])
+	}
+}
+
+// RestoreFrom loads a CheckpointTo stream into a freshly constructed
+// engine for the same configuration.
+func (e *Engine) RestoreFrom(r *ckpt.Reader) error {
+	r.Section("mtm.engine")
+	e.started = r.Bool()
+	e.completed = r.Bool()
+	e.overBudget = r.Bool()
+	e.round = r.Int()
+	e.res.Rounds = r.Int()
+	e.res.Completed = r.Bool()
+	e.res.Connections = r.I64()
+	e.res.Proposals = r.I64()
+	e.res.ControlBits = r.I64()
+	e.res.TokensMoved = r.I64()
+	e.res.EdgesAdded = r.I64()
+	e.res.EdgesRemoved = r.I64()
+	n := int(r.U64())
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if n != len(e.rngs) {
+		return fmt.Errorf("mtm: checkpoint has %d node RNGs, engine has %d", n, len(e.rngs))
+	}
+	for _, rng := range e.rngs {
+		rng.SetState([4]uint64{r.U64(), r.U64(), r.U64(), r.U64()})
+	}
+	return r.Err()
 }

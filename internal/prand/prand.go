@@ -64,6 +64,21 @@ func (r *RNG) Seed(seed uint64) {
 	}
 }
 
+// State returns the generator's full internal state, for checkpointing.
+// Restore with SetState; the stream continues exactly where it left off.
+func (r *RNG) State() [4]uint64 { return r.s }
+
+// SetState overwrites the generator's internal state with a snapshot taken
+// by State. The all-zero state is invalid for xoshiro and is rejected by
+// reseeding from a fixed constant (State never returns it).
+func (r *RNG) SetState(s [4]uint64) {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		r.Seed(0x9e3779b97f4a7c15)
+		return
+	}
+	r.s = s
+}
+
 // Uint64 returns the next 64 uniform pseudorandom bits.
 func (r *RNG) Uint64() uint64 {
 	s := &r.s

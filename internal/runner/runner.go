@@ -20,6 +20,7 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -50,7 +51,11 @@ type Config struct {
 	OnProgress func(done, total int)
 }
 
-func (c Config) workers(n int) int {
+// PoolSize returns the worker-pool size a Map over n cells will actually
+// use: the configured Workers (GOMAXPROCS when unset), clamped to the grid
+// size. Callers that report a pool size use this so the report cannot
+// drift from the pool Map spawns.
+func (c Config) PoolSize(n int) int {
 	w := c.Workers
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
@@ -65,6 +70,14 @@ func (c Config) workers(n int) int {
 // grid order. On error it cancels the dispatch of remaining cells and
 // returns the error of the smallest failing index among the cells that ran.
 func Map[T any](cfg Config, n int, fn func(Job) (T, error)) ([]T, error) {
+	return MapContext(context.Background(), cfg, n, fn)
+}
+
+// MapContext is Map with cancellation: when ctx is canceled no further
+// cells are dispatched, in-flight cells finish (work functions that honor
+// ctx themselves abort early), and the context's error is returned unless
+// a cell error (smallest index) takes precedence.
+func MapContext[T any](ctx context.Context, cfg Config, n int, fn func(Job) (T, error)) ([]T, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("runner: negative grid size %d", n)
 	}
@@ -86,7 +99,7 @@ func Map[T any](cfg Config, n int, fn func(Job) (T, error)) ([]T, error) {
 	take := func() (int, bool) {
 		mu.Lock()
 		defer mu.Unlock()
-		if errIdx >= 0 || next >= n {
+		if errIdx >= 0 || next >= n || ctx.Err() != nil {
 			return 0, false
 		}
 		i := next
@@ -113,7 +126,7 @@ func Map[T any](cfg Config, n int, fn func(Job) (T, error)) ([]T, error) {
 	}
 
 	var wg sync.WaitGroup
-	for w := cfg.workers(n); w > 0; w-- {
+	for w := cfg.PoolSize(n); w > 0; w-- {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -135,6 +148,9 @@ func Map[T any](cfg Config, n int, fn func(Job) (T, error)) ([]T, error) {
 	if errIdx >= 0 {
 		return nil, firstEr
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return results, nil
 }
 
@@ -142,10 +158,15 @@ func Map[T any](cfg Config, n int, fn func(Job) (T, error)) ([]T, error) {
 // of point 0, then point 1, …) and returns results indexed [point][trial].
 // The seed passed to fn is the cell's split stream seed.
 func MapGrid[T any](cfg Config, points, trials int, fn func(point, trial int, seed uint64) (T, error)) ([][]T, error) {
+	return MapGridContext(context.Background(), cfg, points, trials, fn)
+}
+
+// MapGridContext is MapGrid with cancellation (see MapContext).
+func MapGridContext[T any](ctx context.Context, cfg Config, points, trials int, fn func(point, trial int, seed uint64) (T, error)) ([][]T, error) {
 	if points < 0 || trials < 0 {
 		return nil, fmt.Errorf("runner: negative grid %d×%d", points, trials)
 	}
-	flat, err := Map(cfg, points*trials, func(j Job) (T, error) {
+	flat, err := MapContext(ctx, cfg, points*trials, func(j Job) (T, error) {
 		return fn(j.Index/max(trials, 1), j.Index%max(trials, 1), j.Seed)
 	})
 	if err != nil {

@@ -7,8 +7,10 @@
 package tokenset
 
 import (
+	"fmt"
 	"math/bits"
 
+	"mobilegossip/internal/ckpt"
 	"mobilegossip/internal/modmath"
 )
 
@@ -159,6 +161,40 @@ func (s *Set) ForEach(f func(token int)) {
 			w &= w - 1
 		}
 	}
+}
+
+// CheckpointTo serializes the set's membership as a delta-encoded token
+// list: O(|S|) varints rather than O(N/64) raw words, which keeps
+// million-node checkpoints proportional to the tokens actually learned.
+func (s *Set) CheckpointTo(w *ckpt.Writer) {
+	w.U64(uint64(s.count))
+	prev := 0
+	s.ForEach(func(t int) {
+		w.U64(uint64(t - prev))
+		prev = t
+	})
+}
+
+// RestoreFrom adds the tokens of a CheckpointTo stream into the set. The
+// set need not be empty: sets only grow, so restoring a later snapshot over
+// the run's initial assignment reproduces the checkpointed membership.
+func (s *Set) RestoreFrom(r *ckpt.Reader) error {
+	count := int(r.U64())
+	if err := r.Err(); err != nil {
+		return err
+	}
+	t := 0
+	for i := 0; i < count; i++ {
+		t += int(r.U64())
+		if t < 1 || t > s.n {
+			if err := r.Err(); err != nil {
+				return err
+			}
+			return fmt.Errorf("tokenset: checkpointed token %d outside [1, %d]", t, s.n)
+		}
+		s.Add(t)
+	}
+	return r.Err()
 }
 
 // SmallestMissingFrom returns the smallest token that is in exactly one of

@@ -17,20 +17,29 @@
 //	    Seed:      1,
 //	})
 //
+// Callers that need to own the loop use the stateful session API instead:
+// New builds a *Simulation, Step executes one round, Run(ctx) steps to
+// completion under context cancellation, observers (Config.Observers,
+// Simulation.Observe) watch the run, and Checkpoint/Resume serialize the
+// complete deterministic state so a run can be revived — in this process
+// or another — byte-identically to an uninterrupted execution. See
+// DESIGN.md §9 for the session lifecycle and checkpoint format.
+//
 // The internal packages expose the full machinery (engine, graph
 // generators, dynamic schedules, Transfer(ε), leader election, PPUSH) for
 // programs within this module; see DESIGN.md for the map.
 package mobilegossip
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
+	"strings"
 
 	"mobilegossip/internal/core"
 	"mobilegossip/internal/mtm"
 	"mobilegossip/internal/prand"
-	"mobilegossip/internal/trace"
 )
 
 // Algorithm selects one of the paper's gossip algorithms.
@@ -53,6 +62,22 @@ var algNames = map[Algorithm]string{
 	AlgSimSharedBit: "simsharedbit", AlgCrowdedBin: "crowdedbin",
 }
 
+// Algorithms enumerates every built-in algorithm, in declaration order.
+// CLIs and error messages use it so the list of valid names has a single
+// source of truth.
+func Algorithms() []Algorithm {
+	return []Algorithm{AlgBlindMatch, AlgSharedBit, AlgSimSharedBit, AlgCrowdedBin}
+}
+
+// AlgorithmNames returns the parseable names of Algorithms, in order.
+func AlgorithmNames() []string {
+	names := make([]string, 0, len(algNames))
+	for _, a := range Algorithms() {
+		names = append(names, a.String())
+	}
+	return names
+}
+
 // String returns the algorithm's name.
 func (a Algorithm) String() string {
 	if s, ok := algNames[a]; ok {
@@ -68,7 +93,8 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 			return a, nil
 		}
 	}
-	return 0, fmt.Errorf("mobilegossip: unknown algorithm %q", s)
+	return 0, fmt.Errorf("mobilegossip: unknown algorithm %q (valid: %s)",
+		s, strings.Join(AlgorithmNames(), ", "))
 }
 
 // Config parameterizes one gossip run.
@@ -109,10 +135,22 @@ type Config struct {
 	TransferEps float64
 	// CrowdedBin tunes the §6 schedule constants.
 	CrowdedBin core.CrowdedBinConfig
+	// Observers watch the run through the composable observer pipeline
+	// (see Observer); they receive BeginRun, one EndRound per round, and
+	// EndRun. Provided implementations: NewTraceObserver,
+	// NewPotentialSampler, NewChurnMeter.
+	Observers []Observer
 	// OnRound, if set, receives (round, φ) after every round.
+	//
+	// Legacy hook: it is adapted onto the observer pipeline; new code
+	// should use Observers with a custom Observer (or NewPotentialSampler).
 	OnRound func(round, potential int)
 	// TraceWriter, if set, receives one JSON line per proposal and per
 	// accepted connection (see internal/trace for the event schema).
+	//
+	// Legacy hook: it is adapted onto the observer pipeline; new code
+	// should use Observers with NewTraceObserver, whose Err survives the
+	// run.
 	TraceWriter io.Writer
 }
 
@@ -149,126 +187,69 @@ var (
 	ErrTagBitsRequires = errors.New("mobilegossip: TagBits >= 2 requires AlgSharedBit")
 )
 
-// Run executes one gossip simulation described by cfg.
+// Run executes one gossip simulation described by cfg: a thin wrapper over
+// New + Simulation.Run with a background context, preserved for the common
+// blocking case. Callers that need to own the loop — step, observe,
+// cancel, checkpoint, resume — use New directly.
 func Run(cfg Config) (Result, error) {
-	var res Result
-	if cfg.N < 2 {
-		return res, ErrBadN
-	}
-	if cfg.Assignment == nil && (cfg.K < 1 || cfg.K > cfg.N) {
-		return res, ErrBadK
-	}
-	if cfg.Epsilon != 0 {
-		if cfg.Epsilon <= 0 || cfg.Epsilon >= 1 {
-			return res, fmt.Errorf("mobilegossip: Epsilon %v outside (0,1)", cfg.Epsilon)
-		}
-		epsAlg := cfg.Algorithm == AlgSharedBit || cfg.Algorithm == AlgSimSharedBit
-		if !epsAlg || (cfg.Assignment == nil && cfg.K != cfg.N) {
-			return res, ErrEpsilonRequires
-		}
-	}
-	if cfg.TagBits >= 2 && cfg.Algorithm != AlgSharedBit {
-		return res, ErrTagBitsRequires
-	}
-	if cfg.TagBits > 64 || cfg.TagBits < 0 {
-		return res, fmt.Errorf("mobilegossip: TagBits %d outside [0, 64]", cfg.TagBits)
-	}
-	if cfg.Algorithm == AlgCrowdedBin && cfg.Tau > 0 {
-		return res, ErrCrowdedBinTau
-	}
-	if cfg.Topology.Kind == 0 {
-		cfg.Topology.Kind = RandomRegular
-	}
-	transferEps := cfg.TransferEps
-	if transferEps <= 0 {
-		nf := float64(cfg.N)
-		transferEps = 1 / (nf * nf * nf)
-	}
-
-	assign := core.OneTokenPerNode(cfg.N, cfg.K)
-	if cfg.Assignment != nil {
-		assign = *cfg.Assignment
-	}
-	st, err := core.NewState(cfg.N, assign, transferEps)
+	sim, err := New(cfg)
 	if err != nil {
-		return res, err
+		return Result{}, err
 	}
+	return sim.Run(context.Background())
+}
 
-	dyn, err := cfg.Topology.Build(cfg.N, cfg.Tau, prand.Mix64(cfg.Seed^0x6c62272e07bb0142))
-	if err != nil {
-		return res, err
-	}
-
-	proto, err := buildProtocol(cfg, st)
-	if err != nil {
-		return res, err
-	}
-	var rec *trace.Recorder
-	if cfg.TraceWriter != nil {
-		rec = trace.NewRecorder(cfg.TraceWriter)
-		proto = trace.Wrap(proto, rec)
-	}
-
-	engCfg := mtm.Config{
-		Seed:       prand.Mix64(cfg.Seed ^ 0x51afd7ed558ccd6d),
-		MaxRounds:  cfg.MaxRounds,
-		Concurrent: cfg.Concurrent,
-	}
-	if cfg.OnRound != nil {
-		engCfg.OnRound = func(r int) { cfg.OnRound(r, st.Potential()) }
-	}
-	runRes, err := mtm.NewEngine(dyn, proto, engCfg).Run()
-	if err == nil && rec != nil {
-		err = rec.Err()
-	}
-	res = Result{
-		Algorithm:      cfg.Algorithm,
-		Topology:       dyn.Name(),
-		Solved:         runRes.Completed,
-		Rounds:         runRes.Rounds,
-		Connections:    runRes.Connections,
-		Proposals:      runRes.Proposals,
-		ControlBits:    runRes.ControlBits,
-		TokensMoved:    runRes.TokensMoved,
-		EdgesAdded:     runRes.EdgesAdded,
-		EdgesRemoved:   runRes.EdgesRemoved,
-		FinalPotential: st.Potential(),
-	}
-	return res, err
+// protoParts is the assembled protocol stack with typed references to the
+// layers that carry checkpointable state.
+type protoParts struct {
+	proto  mtm.Protocol        // the outermost protocol the engine drives
+	shared *prand.SharedString // SharedBit/MultiBit shared string (key check)
+	ssb    *core.SimSharedBit  // election state
+	cb     *core.CrowdedBin    // schedule state
+	eps    *core.EpsilonGossip // relaxed-objective state
 }
 
 // buildProtocol assembles the configured algorithm over st.
-func buildProtocol(cfg Config, st *core.State) (mtm.Protocol, error) {
+func buildProtocol(cfg Config, st *core.State) (protoParts, error) {
+	var parts protoParts
 	switch cfg.Algorithm {
 	case AlgBlindMatch:
-		return core.NewBlindMatch(st), nil
+		parts.proto = core.NewBlindMatch(st)
 	case AlgSharedBit:
-		shared := prand.NewSharedString(prand.Mix64(cfg.Seed ^ 0xb492b66fbe98f273))
-		var sb core.SetProtocol = core.NewSharedBit(st, shared)
+		parts.shared = prand.NewSharedString(prand.Mix64(cfg.Seed ^ 0xb492b66fbe98f273))
+		var sb core.SetProtocol = core.NewSharedBit(st, parts.shared)
 		if cfg.TagBits >= 2 {
-			mb, err := core.NewMultiBit(st, shared, cfg.TagBits)
+			mb, err := core.NewMultiBit(st, parts.shared, cfg.TagBits)
 			if err != nil {
-				return nil, err
+				return parts, err
 			}
 			sb = mb
 		}
+		parts.proto = sb
 		if cfg.Epsilon != 0 {
-			return core.NewEpsilonOver(sb, cfg.Epsilon, 1), nil
+			parts.eps = core.NewEpsilonOver(sb, cfg.Epsilon, 1)
+			parts.proto = parts.eps
 		}
-		return sb, nil
 	case AlgSimSharedBit:
 		space := prand.NewSeedSpace(st.Universe())
 		seeds := core.SampleSeeds(space, st.N(),
 			prand.New(prand.Mix64(cfg.Seed^0x2545f4914f6cdd1d)))
-		ssb := core.NewSimSharedBit(st, space, seeds)
+		parts.ssb = core.NewSimSharedBit(st, space, seeds)
+		parts.proto = parts.ssb
 		if cfg.Epsilon != 0 {
-			return core.NewEpsilonOver(ssb, cfg.Epsilon, 1), nil
+			parts.eps = core.NewEpsilonOver(parts.ssb, cfg.Epsilon, 1)
+			parts.proto = parts.eps
 		}
-		return ssb, nil
 	case AlgCrowdedBin:
-		return core.NewCrowdedBin(st, cfg.CrowdedBin,
+		cb, err := core.NewCrowdedBin(st, cfg.CrowdedBin,
 			prand.New(prand.Mix64(cfg.Seed^0x9fb21c651e98df25)))
+		if err != nil {
+			return parts, err
+		}
+		parts.cb = cb
+		parts.proto = cb
 	default:
-		return nil, fmt.Errorf("mobilegossip: unknown algorithm %v", cfg.Algorithm)
+		return parts, fmt.Errorf("mobilegossip: unknown algorithm %v", cfg.Algorithm)
 	}
+	return parts, nil
 }

@@ -1,6 +1,45 @@
 package mobilegossip
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
+
+// TestEnumerators pins Algorithms/TopologyKinds as the single source of
+// truth: every enumerated value round-trips through String/Parse, every
+// registered name is enumerated, and unknown-name errors list the valid
+// names so the CLI user never has to guess.
+func TestEnumerators(t *testing.T) {
+	algs := Algorithms()
+	if len(algs) != len(algNames) {
+		t.Errorf("Algorithms() has %d entries, registry has %d", len(algs), len(algNames))
+	}
+	for i, a := range algs {
+		if got, err := ParseAlgorithm(a.String()); err != nil || got != a {
+			t.Errorf("algorithm %d (%v) does not round-trip: %v %v", i, a, got, err)
+		}
+	}
+	if got := AlgorithmNames(); len(got) != len(algs) || got[0] != "blindmatch" {
+		t.Errorf("AlgorithmNames() = %v", got)
+	}
+
+	kinds := TopologyKinds()
+	if len(kinds) != len(kindNames) {
+		t.Errorf("TopologyKinds() has %d entries, registry has %d", len(kinds), len(kindNames))
+	}
+	for i, k := range kinds {
+		if got, err := ParseTopologyKind(k.String()); err != nil || got != k {
+			t.Errorf("kind %d (%v) does not round-trip: %v %v", i, k, got, err)
+		}
+	}
+
+	if _, err := ParseAlgorithm("nope"); err == nil || !strings.Contains(err.Error(), "sharedbit") {
+		t.Errorf("ParseAlgorithm error does not enumerate valid names: %v", err)
+	}
+	if _, err := ParseTopologyKind("nope"); err == nil || !strings.Contains(err.Error(), "waypoint") {
+		t.Errorf("ParseTopologyKind error does not enumerate valid names: %v", err)
+	}
+}
 
 func TestParseAlgorithmRoundTrip(t *testing.T) {
 	for _, a := range []Algorithm{AlgBlindMatch, AlgSharedBit, AlgSimSharedBit, AlgCrowdedBin} {

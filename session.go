@@ -1,0 +1,283 @@
+package mobilegossip
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"mobilegossip/internal/core"
+	"mobilegossip/internal/dyngraph"
+	"mobilegossip/internal/mtm"
+	"mobilegossip/internal/prand"
+	"mobilegossip/internal/trace"
+)
+
+// Simulation is a stateful gossip session: the stepwise, observable,
+// cancelable and resumable form of Run. Construct with New (or Resume),
+// then either drive the loop yourself —
+//
+//	sim, err := mobilegossip.New(cfg)
+//	for !sim.Done() {
+//	    stats, err := sim.Step()
+//	    // inspect stats, sim.Potential(), sim.TokenCount(u), ...
+//	}
+//	res := sim.Result()
+//
+// — or hand the loop to Run(ctx), which steps to completion and honors
+// context cancellation between rounds. A canceled run is not lost: the
+// simulation stays at the round boundary it reached, and can be stepped
+// further, run again, or serialized with Checkpoint and later revived with
+// Resume on another process — byte-identically to an uninterrupted run.
+//
+// A Simulation is not safe for concurrent use; drive it from one
+// goroutine (Config.Concurrent parallelism happens inside Step).
+type Simulation struct {
+	cfg   Config
+	st    *core.State
+	dyn   dyngraph.Dynamic
+	proto mtm.Protocol // outermost protocol, possibly observer-wrapped
+	parts protoParts
+	eng   *mtm.Engine
+
+	observers []Observer
+	legacyRec *trace.Recorder // Config.TraceWriter recorder, for Run's error contract
+	began     bool
+	finished  bool
+}
+
+// ErrSimulationDone is returned by Step once the run is over (objective
+// reached or MaxRounds exhausted).
+var ErrSimulationDone = errors.New("mobilegossip: simulation already finished")
+
+// ErrBudgetExceeded reports that some connection exceeded the model's
+// per-connection communication budget; Run surfaces it after the run ends.
+var ErrBudgetExceeded = mtm.ErrBudgetExceeded
+
+// New validates cfg and builds a simulation session positioned before
+// round 1. The legacy Config.OnRound and Config.TraceWriter fields are
+// honored by adapting them onto the observer pipeline; new code should
+// attach Config.Observers (or call Observe) instead.
+func New(cfg Config) (*Simulation, error) {
+	if cfg.N < 2 {
+		return nil, ErrBadN
+	}
+	if cfg.Assignment == nil && (cfg.K < 1 || cfg.K > cfg.N) {
+		return nil, ErrBadK
+	}
+	if cfg.Epsilon != 0 {
+		if cfg.Epsilon <= 0 || cfg.Epsilon >= 1 {
+			return nil, fmt.Errorf("mobilegossip: Epsilon %v outside (0,1)", cfg.Epsilon)
+		}
+		epsAlg := cfg.Algorithm == AlgSharedBit || cfg.Algorithm == AlgSimSharedBit
+		if !epsAlg || (cfg.Assignment == nil && cfg.K != cfg.N) {
+			return nil, ErrEpsilonRequires
+		}
+	}
+	if cfg.TagBits >= 2 && cfg.Algorithm != AlgSharedBit {
+		return nil, ErrTagBitsRequires
+	}
+	if cfg.TagBits > 64 || cfg.TagBits < 0 {
+		return nil, fmt.Errorf("mobilegossip: TagBits %d outside [0, 64]", cfg.TagBits)
+	}
+	if cfg.Algorithm == AlgCrowdedBin && cfg.Tau > 0 {
+		return nil, ErrCrowdedBinTau
+	}
+	if cfg.Topology.Kind == 0 {
+		cfg.Topology.Kind = RandomRegular
+	}
+	if cfg.TransferEps <= 0 {
+		nf := float64(cfg.N)
+		cfg.TransferEps = 1 / (nf * nf * nf)
+	}
+
+	assign := core.OneTokenPerNode(cfg.N, cfg.K)
+	if cfg.Assignment != nil {
+		assign = *cfg.Assignment
+	}
+	st, err := core.NewState(cfg.N, assign, cfg.TransferEps)
+	if err != nil {
+		return nil, err
+	}
+
+	dyn, err := cfg.Topology.Build(cfg.N, cfg.Tau, prand.Mix64(cfg.Seed^0x6c62272e07bb0142))
+	if err != nil {
+		return nil, err
+	}
+
+	parts, err := buildProtocol(cfg, st)
+	if err != nil {
+		return nil, err
+	}
+
+	s := &Simulation{cfg: cfg, st: st, dyn: dyn, proto: parts.proto, parts: parts}
+	s.eng = mtm.NewEngine(dyn, s.proto, mtm.Config{
+		Seed:       prand.Mix64(cfg.Seed ^ 0x51afd7ed558ccd6d),
+		MaxRounds:  cfg.MaxRounds,
+		Concurrent: cfg.Concurrent,
+	})
+
+	if cfg.OnRound != nil {
+		s.Observe(onRoundObserver{fn: cfg.OnRound})
+	}
+	if cfg.TraceWriter != nil {
+		to := NewTraceObserver(cfg.TraceWriter)
+		s.legacyRec = to.rec
+		s.Observe(to)
+	}
+	s.Observe(cfg.Observers...)
+	return s, nil
+}
+
+// Observe attaches observers to the session. Observers attached before the
+// first Step see the whole run; observers attached mid-run see the rounds
+// from their attachment on (their BeginRun is skipped once the run has
+// begun). Observers that tap the protocol layer (TraceObserver) take
+// effect from the next round.
+func (s *Simulation) Observe(obs ...Observer) {
+	for _, o := range obs {
+		if o == nil {
+			continue
+		}
+		if pw, ok := o.(protocolWrapper); ok {
+			s.proto = pw.wrapProtocol(s.proto)
+			s.eng.SetProtocol(s.proto)
+		}
+		s.observers = append(s.observers, o)
+	}
+}
+
+// begin fires BeginRun exactly once per process session (a resumed
+// simulation fires it again for its freshly attached observers).
+func (s *Simulation) begin() {
+	if s.began {
+		return
+	}
+	s.began = true
+	for _, o := range s.observers {
+		o.BeginRun(s)
+	}
+}
+
+// finish fires EndRun exactly once.
+func (s *Simulation) finish() {
+	if s.finished {
+		return
+	}
+	s.finished = true
+	res := s.Result()
+	for _, o := range s.observers {
+		o.EndRun(res)
+	}
+}
+
+// Step executes exactly one round, feeds the observers, and returns the
+// round's stats. Once the run is over (Done reports true) Step returns
+// ErrSimulationDone — or the original failure, if an earlier round
+// violated a model contract.
+func (s *Simulation) Step() (RoundStats, error) {
+	if s.eng.Finished() {
+		if err := s.eng.Failed(); err != nil {
+			return RoundStats{Round: s.eng.Round()}, err
+		}
+		s.finish()
+		return RoundStats{Round: s.eng.Round(), Done: s.Done()}, ErrSimulationDone
+	}
+	s.begin()
+	es, err := s.eng.Step()
+	if err != nil {
+		return RoundStats{Round: es.Round}, err
+	}
+	stats := RoundStats{
+		Round:        es.Round,
+		Potential:    s.st.Potential(),
+		Connections:  es.Connections,
+		Proposals:    es.Proposals,
+		ControlBits:  es.ControlBits,
+		TokensMoved:  es.TokensMoved,
+		EdgesAdded:   es.EdgesAdded,
+		EdgesRemoved: es.EdgesRemoved,
+		Done:         es.Done,
+	}
+	for _, o := range s.observers {
+		o.EndRound(stats)
+	}
+	if s.eng.Finished() {
+		s.finish()
+	}
+	return stats, nil
+}
+
+// Run steps the simulation to completion, checking ctx between rounds. On
+// cancellation it returns the partial Result along with the context's
+// error; the simulation remains at a round boundary and stays fully
+// usable — step it further, Run again, or Checkpoint it.
+func (s *Simulation) Run(ctx context.Context) (Result, error) {
+	for !s.eng.Finished() {
+		if err := ctx.Err(); err != nil {
+			return s.Result(), err
+		}
+		if _, err := s.Step(); err != nil {
+			return s.Result(), err
+		}
+	}
+	// A run poisoned by an earlier model-contract violation must not
+	// report success (or fire EndRun) on a later Run call.
+	if err := s.eng.Failed(); err != nil {
+		return s.Result(), err
+	}
+	s.finish()
+	res := s.Result()
+	var err error
+	if s.eng.OverBudget() {
+		err = ErrBudgetExceeded
+	}
+	if err == nil && s.legacyRec != nil {
+		err = s.legacyRec.Err()
+	}
+	return res, err
+}
+
+// Done reports whether the run is over: the objective was reached or
+// MaxRounds elapsed. Result().Solved distinguishes the two.
+func (s *Simulation) Done() bool {
+	return s.eng.Finished()
+}
+
+// Round returns the number of rounds executed so far (counted from the
+// checkpoint's round after a Resume — round numbering is global to the
+// logical run, not to the process).
+func (s *Simulation) Round() int { return s.eng.Round() }
+
+// Potential returns the current potential φ = Σ_u (k − |T_u|).
+func (s *Simulation) Potential() int { return s.st.Potential() }
+
+// TokenCount returns the number of tokens node u currently knows.
+func (s *Simulation) TokenCount(u int) int { return s.st.Set(u).Len() }
+
+// N returns the network size.
+func (s *Simulation) N() int { return s.st.N() }
+
+// K returns the token count.
+func (s *Simulation) K() int { return s.st.K() }
+
+// Config returns the (normalized) configuration the session runs.
+func (s *Simulation) Config() Config { return s.cfg }
+
+// Result returns the run summary so far; it is final once Done reports
+// true, and a valid partial summary at any round boundary before that.
+func (s *Simulation) Result() Result {
+	rr := s.eng.Result()
+	return Result{
+		Algorithm:      s.cfg.Algorithm,
+		Topology:       s.dyn.Name(),
+		Solved:         rr.Completed,
+		Rounds:         rr.Rounds,
+		Connections:    rr.Connections,
+		Proposals:      rr.Proposals,
+		ControlBits:    rr.ControlBits,
+		TokensMoved:    rr.TokensMoved,
+		EdgesAdded:     rr.EdgesAdded,
+		EdgesRemoved:   rr.EdgesRemoved,
+		FinalPotential: s.st.Potential(),
+	}
+}

@@ -1,0 +1,309 @@
+package mobilegossip_test
+
+// Tests for the stateful session API: New+Step loops, Run(ctx)
+// cancellation, and checkpoint/resume must all reproduce the legacy
+// blocking Run byte-for-byte, for every algorithm on static, τ-dynamic and
+// mobility topologies.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"mobilegossip"
+)
+
+// sessionMatrix is the algorithm × topology grid the ISSUE's acceptance
+// criteria name. CrowdedBin requires a static topology, so its dynamic
+// cell runs the mobility schedule frozen (Tau = 0) instead of τ-dynamic.
+func sessionMatrix() []mobilegossip.Config {
+	static := mobilegossip.Topology{Kind: mobilegossip.RandomRegular, Degree: 4}
+	dynamic := mobilegossip.Topology{Kind: mobilegossip.Cycle}
+	mobile := mobilegossip.Topology{Kind: mobilegossip.MobileWaypoint, Speed: 0.03}
+
+	var cfgs []mobilegossip.Config
+	for _, alg := range []mobilegossip.Algorithm{
+		mobilegossip.AlgBlindMatch,
+		mobilegossip.AlgSharedBit,
+		mobilegossip.AlgSimSharedBit,
+	} {
+		cfgs = append(cfgs,
+			mobilegossip.Config{Algorithm: alg, N: 20, K: 4, Topology: static, Seed: 11},
+			mobilegossip.Config{Algorithm: alg, N: 16, K: 3, Topology: dynamic, Tau: 2, Seed: 12},
+			mobilegossip.Config{Algorithm: alg, N: 40, K: 4, Topology: mobile, Tau: 1, Seed: 13},
+		)
+	}
+	cfgs = append(cfgs,
+		mobilegossip.Config{Algorithm: mobilegossip.AlgCrowdedBin, N: 20, K: 4, Topology: static, Seed: 14},
+		mobilegossip.Config{Algorithm: mobilegossip.AlgCrowdedBin, N: 40, K: 4, Topology: mobile, Seed: 15},
+		// ε-gossip and the multi-bit generalization ride along for coverage.
+		mobilegossip.Config{Algorithm: mobilegossip.AlgSharedBit, N: 16, K: 16,
+			Topology: mobilegossip.Topology{Kind: mobilegossip.Complete}, Epsilon: 0.5, Seed: 16},
+		mobilegossip.Config{Algorithm: mobilegossip.AlgSharedBit, N: 20, K: 4,
+			Topology: static, TagBits: 4, Tau: 1, Seed: 17},
+	)
+	return cfgs
+}
+
+func cfgName(cfg mobilegossip.Config) string {
+	return fmt.Sprintf("%v_%v_tau%d_eps%v_b%d", cfg.Algorithm, cfg.Topology.Kind, cfg.Tau, cfg.Epsilon, cfg.TagBits)
+}
+
+// TestSessionMatchesRun checks that New+Step and New+Run(ctx) reproduce
+// the blocking Run exactly on the full matrix.
+func TestSessionMatchesRun(t *testing.T) {
+	for _, cfg := range sessionMatrix() {
+		cfg := cfg
+		t.Run(cfgName(cfg), func(t *testing.T) {
+			want, err := mobilegossip.Run(cfg)
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if !want.Solved {
+				t.Fatalf("baseline not solved in %d rounds", want.Rounds)
+			}
+
+			// Manual step loop.
+			sim, err := mobilegossip.New(cfg)
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			steps := 0
+			for !sim.Done() {
+				stats, err := sim.Step()
+				if err != nil {
+					t.Fatalf("Step %d: %v", steps, err)
+				}
+				steps++
+				if stats.Round != steps {
+					t.Fatalf("round %d reported as %d", steps, stats.Round)
+				}
+				if steps > want.Rounds {
+					t.Fatalf("step loop ran past the baseline's %d rounds", want.Rounds)
+				}
+			}
+			if got := sim.Result(); got != want {
+				t.Fatalf("Step loop diverged:\n got %+v\nwant %+v", got, want)
+			}
+			if sim.Round() != want.Rounds || sim.Potential() != want.FinalPotential {
+				t.Fatalf("accessors diverged: round %d φ %d", sim.Round(), sim.Potential())
+			}
+			if _, err := sim.Step(); !errors.Is(err, mobilegossip.ErrSimulationDone) {
+				t.Fatalf("Step after done: err = %v", err)
+			}
+
+			// Context-driven run.
+			sim2, err := mobilegossip.New(cfg)
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			got2, err := sim2.Run(context.Background())
+			if err != nil {
+				t.Fatalf("Run(ctx): %v", err)
+			}
+			if got2 != want {
+				t.Fatalf("Run(ctx) diverged:\n got %+v\nwant %+v", got2, want)
+			}
+		})
+	}
+}
+
+// TestCheckpointResumeMatchesRun checkpoints every matrix cell mid-run and
+// checks the resumed session finishes byte-identically — and that the
+// original session, stepping on past its checkpoint, agrees too.
+func TestCheckpointResumeMatchesRun(t *testing.T) {
+	for _, cfg := range sessionMatrix() {
+		cfg := cfg
+		t.Run(cfgName(cfg), func(t *testing.T) {
+			want, err := mobilegossip.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			at := want.Rounds / 2
+
+			sim, err := mobilegossip.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < at; i++ {
+				if _, err := sim.Step(); err != nil {
+					t.Fatalf("step %d: %v", i, err)
+				}
+			}
+			var buf bytes.Buffer
+			if err := sim.Checkpoint(&buf); err != nil {
+				t.Fatalf("Checkpoint: %v", err)
+			}
+
+			// Checkpoints of identical state are byte-identical.
+			var buf2 bytes.Buffer
+			if err := sim.Checkpoint(&buf2); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+				t.Fatal("two checkpoints of the same state differ")
+			}
+
+			resumed, err := mobilegossip.Resume(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("Resume: %v", err)
+			}
+			if resumed.Round() != at {
+				t.Fatalf("resumed at round %d, want %d", resumed.Round(), at)
+			}
+			gotResumed, err := resumed.Run(context.Background())
+			if err != nil {
+				t.Fatalf("resumed Run: %v", err)
+			}
+			if gotResumed != want {
+				t.Fatalf("resumed run diverged:\n got %+v\nwant %+v", gotResumed, want)
+			}
+
+			// The original session is unperturbed by having been checkpointed.
+			gotOrig, err := sim.Run(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotOrig != want {
+				t.Fatalf("original run diverged after checkpoint:\n got %+v\nwant %+v", gotOrig, want)
+			}
+		})
+	}
+}
+
+// TestRunCancellation cancels a run mid-flight, checkpoints the partial
+// session, and finishes it from the checkpoint — the blackout workflow.
+func TestRunCancellation(t *testing.T) {
+	cfg := mobilegossip.Config{
+		Algorithm: mobilegossip.AlgBlindMatch, N: 32, K: 8,
+		Topology: mobilegossip.Topology{Kind: mobilegossip.DoubleStar}, Seed: 9,
+	}
+	want, err := mobilegossip.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Rounds < 10 {
+		t.Fatalf("baseline too short (%d rounds) to cancel meaningfully", want.Rounds)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	stopAt := want.Rounds / 3
+	cfg2 := cfg
+	cfg2.OnRound = func(r, _ int) {
+		if r == stopAt {
+			cancel()
+		}
+	}
+	sim, err := mobilegossip.New(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial, err := sim.Run(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled run: err = %v, want context.Canceled", err)
+	}
+	if partial.Solved || partial.Rounds != stopAt {
+		t.Fatalf("partial result %+v, want %d unsolved rounds", partial, stopAt)
+	}
+	if sim.Done() {
+		t.Fatal("canceled simulation reports Done")
+	}
+
+	// Checkpoint the canceled session and finish it elsewhere.
+	var buf bytes.Buffer
+	if err := sim.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := mobilegossip.Resume(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := resumed.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("resumed-after-cancel diverged:\n got %+v\nwant %+v", got, want)
+	}
+
+	// And the canceled session itself can simply continue.
+	got2, err := sim.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2 != want {
+		t.Fatalf("continued-after-cancel diverged:\n got %+v\nwant %+v", got2, want)
+	}
+}
+
+// TestResumeRejectsGarbage pins the version/format error contract.
+func TestResumeRejectsGarbage(t *testing.T) {
+	if _, err := mobilegossip.Resume(bytes.NewReader([]byte("not a checkpoint"))); !errors.Is(err, mobilegossip.ErrCheckpointFormat) {
+		t.Fatalf("garbage: err = %v, want ErrCheckpointFormat", err)
+	}
+	// A truncated but well-started stream must fail loudly, not panic.
+	cfg := mobilegossip.Config{Algorithm: mobilegossip.AlgSharedBit, N: 8, K: 2, Seed: 1}
+	sim, err := mobilegossip.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sim.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := mobilegossip.Resume(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated checkpoint resumed without error")
+	}
+}
+
+// TestCheckpointBeforeStartAndAfterFinish covers the boundary rounds.
+func TestCheckpointBeforeStartAndAfterFinish(t *testing.T) {
+	cfg := mobilegossip.Config{
+		Algorithm: mobilegossip.AlgSharedBit, N: 16, K: 4,
+		Topology: mobilegossip.Topology{Kind: mobilegossip.RandomRegular, Degree: 4}, Seed: 3,
+	}
+	want, err := mobilegossip.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Round 0: a checkpoint before any step is a (fat) way to spell New.
+	sim, err := mobilegossip.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sim.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := mobilegossip.Resume(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := resumed.Run(context.Background()); err != nil || got != want {
+		t.Fatalf("round-0 resume: %v %+v", err, got)
+	}
+
+	// After completion: the resumed session is immediately Done with the
+	// same Result.
+	if _, err := sim.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := sim.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	final, err := mobilegossip.Resume(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !final.Done() {
+		t.Fatal("resumed finished run not Done")
+	}
+	if got := final.Result(); got != want {
+		t.Fatalf("resumed final result %+v, want %+v", got, want)
+	}
+}

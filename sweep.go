@@ -1,6 +1,7 @@
 package mobilegossip
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -48,13 +49,21 @@ type PointResult struct {
 	// MeanConnections and MeanTokensMoved summarize the engine meters.
 	MeanConnections float64
 	MeanTokensMoved float64
+	// MeanEdgesAdded and MeanEdgesRemoved summarize the topology churn the
+	// trials measured (nonzero only for delta-capable mobility schedules).
+	MeanEdgesAdded   float64
+	MeanEdgesRemoved float64
 }
 
 // SweepResult is a finished sweep.
 type SweepResult struct {
 	// Points holds one aggregate per SweepConfig.Points entry, in order.
 	Points []PointResult
-	// Workers is the pool size the sweep actually used.
+	// Seed echoes the base seed every cell seed was split from; together
+	// with the point configs it makes any cell reproducible via SweepSeed.
+	Seed uint64
+	// Workers is the pool size the sweep actually used, as reported by the
+	// runner that spawned the pool.
 	Workers int
 	// Elapsed is the sweep's wall-clock time.
 	Elapsed time.Duration
@@ -66,6 +75,13 @@ type SweepResult struct {
 // contract, with the per-cell seeds split from cfg.Seed so that any worker
 // count yields identical results.
 func RunSweep(cfg SweepConfig) (SweepResult, error) {
+	return RunSweepContext(context.Background(), cfg)
+}
+
+// RunSweepContext is RunSweep with cancellation: when ctx is canceled, no
+// further cells are dispatched, in-flight simulations abort at their next
+// round boundary, and the context's error is returned.
+func RunSweepContext(ctx context.Context, cfg SweepConfig) (SweepResult, error) {
 	var sr SweepResult
 	if len(cfg.Points) == 0 {
 		return sr, fmt.Errorf("mobilegossip: RunSweep with no points")
@@ -74,22 +90,22 @@ func RunSweep(cfg SweepConfig) (SweepResult, error) {
 	if trials <= 0 {
 		trials = 1
 	}
-	sr.Workers = cfg.Workers
-	if sr.Workers <= 0 {
-		sr.Workers = runtime.GOMAXPROCS(0)
-	}
-	if cells := len(cfg.Points) * trials; sr.Workers > cells {
-		sr.Workers = cells // the pool never spawns more workers than cells
-	}
+	rcfg := runner.Config{Workers: cfg.Workers, Seed: cfg.Seed, OnProgress: cfg.OnProgress}
+	sr.Seed = cfg.Seed
+	// Report the pool size from the runner itself so the two cannot drift.
+	sr.Workers = rcfg.PoolSize(len(cfg.Points) * trials)
 
 	start := time.Now()
-	grid, err := runner.MapGrid(
-		runner.Config{Workers: cfg.Workers, Seed: cfg.Seed, OnProgress: cfg.OnProgress},
+	grid, err := runner.MapGridContext(ctx, rcfg,
 		len(cfg.Points), trials,
 		func(p, t int, seed uint64) (Result, error) {
 			run := cfg.Points[p]
 			run.Seed = seed
-			res, err := Run(run)
+			sim, err := New(run)
+			if err != nil {
+				return Result{}, fmt.Errorf("point %d trial %d: %w", p, t, err)
+			}
+			res, err := sim.Run(ctx)
 			if err != nil {
 				return Result{}, fmt.Errorf("point %d trial %d: %w", p, t, err)
 			}
@@ -104,7 +120,7 @@ func RunSweep(cfg SweepConfig) (SweepResult, error) {
 	for p := range cfg.Points {
 		pt := PointResult{Config: cfg.Points[p], Runs: grid[p]}
 		pt.Config.Seed = 0
-		var rounds, conns, moved float64
+		var rounds, conns, moved, added, removed float64
 		for i, r := range pt.Runs {
 			if r.Solved {
 				pt.Solved++
@@ -112,6 +128,8 @@ func RunSweep(cfg SweepConfig) (SweepResult, error) {
 			rounds += float64(r.Rounds)
 			conns += float64(r.Connections)
 			moved += float64(r.TokensMoved)
+			added += float64(r.EdgesAdded)
+			removed += float64(r.EdgesRemoved)
 			if i == 0 || r.Rounds < pt.MinRounds {
 				pt.MinRounds = r.Rounds
 			}
@@ -123,6 +141,8 @@ func RunSweep(cfg SweepConfig) (SweepResult, error) {
 		pt.MeanRounds = rounds / nf
 		pt.MeanConnections = conns / nf
 		pt.MeanTokensMoved = moved / nf
+		pt.MeanEdgesAdded = added / nf
+		pt.MeanEdgesRemoved = removed / nf
 		sr.Points[p] = pt
 	}
 	return sr, nil
@@ -135,6 +155,7 @@ func RunSweep(cfg SweepConfig) (SweepResult, error) {
 type sweepJSON struct {
 	Schema    string          `json:"schema"`
 	GoVersion string          `json:"go_version"`
+	Seed      uint64          `json:"seed"`
 	Workers   int             `json:"workers"`
 	ElapsedMS int64           `json:"elapsed_ms"`
 	Points    []sweepPointRow `json:"points"`
@@ -155,13 +176,26 @@ type sweepPointRow struct {
 	MaxRounds       int     `json:"max_rounds"`
 	MeanConnections float64 `json:"mean_connections"`
 	MeanTokensMoved float64 `json:"mean_tokens_moved"`
+	EdgesAdded      float64 `json:"edges_added,omitempty"`
+	EdgesRemoved    float64 `json:"edges_removed,omitempty"`
 }
 
-// WriteJSON emits the sweep as an indented BENCH-shaped JSON document.
+// SweepSchemaV1 and SweepSchemaV2 are the schema tags of the WriteJSON
+// document. v2 added the sweep base seed and the per-point mean mobility
+// churn (edges_added/edges_removed, dropped entirely by v1); consumers
+// (cmd/benchgate) accept both.
+const (
+	SweepSchemaV1 = "mobilegossip/bench-v1"
+	SweepSchemaV2 = "mobilegossip/bench-v2"
+)
+
+// WriteJSON emits the sweep as an indented BENCH-shaped JSON document
+// (schema SweepSchemaV2).
 func (sr *SweepResult) WriteJSON(w io.Writer) error {
 	doc := sweepJSON{
-		Schema:    "mobilegossip/bench-v1",
+		Schema:    SweepSchemaV2,
 		GoVersion: runtime.Version(),
+		Seed:      sr.Seed,
 		Workers:   sr.Workers,
 		ElapsedMS: sr.Elapsed.Milliseconds(),
 	}
@@ -185,6 +219,8 @@ func (sr *SweepResult) WriteJSON(w io.Writer) error {
 			MaxRounds:       pt.MaxRounds,
 			MeanConnections: pt.MeanConnections,
 			MeanTokensMoved: pt.MeanTokensMoved,
+			EdgesAdded:      pt.MeanEdgesAdded,
+			EdgesRemoved:    pt.MeanEdgesRemoved,
 		})
 	}
 	enc := json.NewEncoder(w)

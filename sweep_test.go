@@ -129,6 +129,7 @@ func TestSweepWriteJSON(t *testing.T) {
 	}
 	var doc struct {
 		Schema  string `json:"schema"`
+		Seed    uint64 `json:"seed"`
 		Workers int    `json:"workers"`
 		Points  []struct {
 			Algorithm  string  `json:"algorithm"`
@@ -143,8 +144,11 @@ func TestSweepWriteJSON(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
 		t.Fatalf("emitted JSON does not parse: %v\n%s", err, buf.String())
 	}
-	if doc.Schema != "mobilegossip/bench-v1" {
-		t.Errorf("schema = %q", doc.Schema)
+	if doc.Schema != mobilegossip.SweepSchemaV2 {
+		t.Errorf("schema = %q, want %q", doc.Schema, mobilegossip.SweepSchemaV2)
+	}
+	if doc.Seed != 5 {
+		t.Errorf("seed = %d, want the sweep base seed 5", doc.Seed)
 	}
 	if doc.Workers < 1 {
 		t.Errorf("workers = %d", doc.Workers)
@@ -159,5 +163,41 @@ func TestSweepWriteJSON(t *testing.T) {
 		if p.N != []int{16, 24, 32}[i] || p.K != 4 || p.Tau != 1 {
 			t.Errorf("point %d config fields wrong: %+v", i, p)
 		}
+	}
+}
+
+// TestSweepJSONMobilityChurn checks the v2 document carries the mobility
+// churn the v1 rows dropped.
+func TestSweepJSONMobilityChurn(t *testing.T) {
+	sr, err := mobilegossip.RunSweep(mobilegossip.SweepConfig{
+		Points: []mobilegossip.Config{{
+			Algorithm: mobilegossip.AlgSharedBit, N: 48, K: 4,
+			Topology: mobilegossip.Topology{Kind: mobilegossip.MobileWaypoint, Speed: 0.03},
+			Tau:      1,
+		}},
+		Trials: 2, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Points[0].MeanEdgesAdded <= 0 || sr.Points[0].MeanEdgesRemoved <= 0 {
+		t.Fatalf("mobility sweep measured no churn: %+v", sr.Points[0])
+	}
+	var buf bytes.Buffer
+	if err := sr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Points []struct {
+			EdgesAdded   float64 `json:"edges_added"`
+			EdgesRemoved float64 `json:"edges_removed"`
+		} `json:"points"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Points[0].EdgesAdded != sr.Points[0].MeanEdgesAdded ||
+		doc.Points[0].EdgesRemoved != sr.Points[0].MeanEdgesRemoved {
+		t.Fatalf("JSON churn %+v does not match aggregates %+v", doc.Points[0], sr.Points[0])
 	}
 }

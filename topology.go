@@ -3,6 +3,7 @@ package mobilegossip
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"mobilegossip/internal/dyngraph"
 	"mobilegossip/internal/graph"
@@ -56,6 +57,27 @@ var kindNames = map[TopologyKind]string{
 	MobileGroup: "group", MobileCommuter: "commuter",
 }
 
+// TopologyKinds enumerates every built-in topology family, in declaration
+// order (the static generators first, then the mobility models). CLIs and
+// error messages use it so the list of valid names has a single source of
+// truth.
+func TopologyKinds() []TopologyKind {
+	return []TopologyKind{
+		Cycle, Path, Complete, Star, DoubleStar, Grid, Hypercube,
+		GNP, RandomRegular, Barbell, RandomGeometric, PreferentialAttachment,
+		MobileWaypoint, MobileLevy, MobileGroup, MobileCommuter,
+	}
+}
+
+// TopologyKindNames returns the parseable names of TopologyKinds, in order.
+func TopologyKindNames() []string {
+	names := make([]string, 0, len(kindNames))
+	for _, k := range TopologyKinds() {
+		names = append(names, k.String())
+	}
+	return names
+}
+
 // String returns the family name.
 func (k TopologyKind) String() string {
 	if s, ok := kindNames[k]; ok {
@@ -71,7 +93,8 @@ func ParseTopologyKind(s string) (TopologyKind, error) {
 			return k, nil
 		}
 	}
-	return 0, fmt.Errorf("mobilegossip: unknown topology %q", s)
+	return 0, fmt.Errorf("mobilegossip: unknown topology %q (valid: %s)",
+		s, strings.Join(TopologyKindNames(), ", "))
 }
 
 // Topology specifies a topology family plus its family-specific knobs.
