@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"io"
 
+	"mobilegossip/internal/adversary"
 	"mobilegossip/internal/ckpt"
 	"mobilegossip/internal/core"
+	"mobilegossip/internal/dyngraph"
 	"mobilegossip/internal/mobility"
 )
 
@@ -23,9 +25,47 @@ import (
 const (
 	checkpointMagic = "mobilegossip/checkpoint"
 	// CheckpointVersion is the checkpoint format version this build writes
-	// and the only version it resumes.
-	CheckpointVersion = 1
+	// and the only version it resumes. Version 2 added the adversary
+	// topology knobs to the config block and generalized the topology
+	// section's mobility flag into a schedule-kind tag.
+	CheckpointVersion = 2
 )
+
+// Topology-section schedule-kind tags: which dynamic-schedule state (if
+// any) follows the config/engine/protocol sections.
+const (
+	topoStateNone      = 0 // pure function of (Config, round): nothing serialized
+	topoStateMobility  = 1 // mobility.Schedule trajectory
+	topoStateAdversary = 2 // adversary.Engine state (wrapping its base's, if any)
+)
+
+// topoCheckpointer is the stateful-schedule contract: schedules that carry
+// mutable state beyond (Config, round) serialize it through this pair.
+type topoCheckpointer interface {
+	CheckpointTo(w *ckpt.Writer)
+	RestoreFrom(r *ckpt.Reader) error
+}
+
+// topoState maps a dynamic schedule to its kind tag and, for stateful
+// kinds, its checkpointer — the single dispatch Checkpoint and Resume
+// share, so adding a schedule kind touches exactly one switch.
+func topoState(dyn dyngraph.Dynamic) (int, topoCheckpointer) {
+	switch d := dyn.(type) {
+	case *adversary.Engine:
+		// Adversary engines serialize their RNG stream, epoch and current
+		// edge list — and their base schedule's state when it carries any
+		// (mobility trajectories).
+		return topoStateAdversary, d
+	case *mobility.Schedule:
+		// Mobility trajectories are serialized so Resume continues the
+		// motion directly instead of replaying every epoch from the seed.
+		return topoStateMobility, d
+	default:
+		// Static and regenerating schedules are pure functions of
+		// (Config, round): the engine's next At(r) rebuilds them exactly.
+		return topoStateNone, nil
+	}
+}
 
 // ErrCheckpointFormat reports a stream that is not a mobilegossip
 // checkpoint, or one whose version this build does not support.
@@ -65,15 +105,10 @@ func (s *Simulation) Checkpoint(w io.Writer) error {
 	}
 
 	cw.Section("topology")
-	if ms, ok := s.dyn.(*mobility.Schedule); ok {
-		// Mobility trajectories are serialized so Resume continues the
-		// motion directly instead of replaying every epoch from the seed.
-		cw.Bool(true)
-		ms.CheckpointTo(cw)
-	} else {
-		// Static and regenerating schedules are pure functions of
-		// (Config, round): the engine's next At(r) rebuilds them exactly.
-		cw.Bool(false)
+	tag, cp := topoState(s.dyn)
+	cw.Int(tag)
+	if cp != nil {
+		cp.CheckpointTo(cw)
 	}
 	return cw.Flush()
 }
@@ -133,14 +168,14 @@ func Resume(r io.Reader) (*Simulation, error) {
 	}
 
 	cr.Section("topology")
-	hasMobility := cr.Bool()
-	ms, isMobility := sim.dyn.(*mobility.Schedule)
-	if hasMobility != isMobility {
-		return nil, fmt.Errorf("mobilegossip: checkpoint topology state (mobility=%v) does not match rebuilt schedule (mobility=%v)",
-			hasMobility, isMobility)
+	tag := cr.Int()
+	rebuiltTag, cp := topoState(sim.dyn)
+	if tag != rebuiltTag {
+		return nil, fmt.Errorf("mobilegossip: checkpoint topology state (kind %d) does not match rebuilt schedule (kind %d)",
+			tag, rebuiltTag)
 	}
-	if hasMobility {
-		if err := ms.RestoreFrom(cr); err != nil {
+	if cp != nil {
+		if err := cp.RestoreFrom(cr); err != nil {
 			return nil, err
 		}
 	}
@@ -176,6 +211,10 @@ func writeConfig(w *ckpt.Writer, cfg Config) {
 	w.Int(t.Groups)
 	w.F64(t.Attract)
 	w.Int(t.Period)
+	w.Int(int(t.Adversary))
+	w.Int(t.AdvBudget)
+	w.Int(t.AdvParts)
+	w.Int(t.AdvPeriod)
 	w.Int(cfg.Tau)
 	w.F64(cfg.Epsilon)
 	w.Int(cfg.TagBits)
@@ -217,6 +256,10 @@ func readConfig(r *ckpt.Reader) (Config, error) {
 	t.Groups = r.Int()
 	t.Attract = r.F64()
 	t.Period = r.Int()
+	t.Adversary = AdversaryKind(r.Int())
+	t.AdvBudget = r.Int()
+	t.AdvParts = r.Int()
+	t.AdvPeriod = r.Int()
 	cfg.Tau = r.Int()
 	cfg.Epsilon = r.F64()
 	cfg.TagBits = r.Int()

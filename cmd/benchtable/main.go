@@ -52,7 +52,7 @@ type jsonDoc struct {
 func run(args []string) error {
 	fs := flag.NewFlagSet("benchtable", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "", "experiment id or comma list (e1..e24); empty = all")
+		exp      = fs.String("exp", "", "experiment id or comma list (e1..e27); empty = all")
 		quick    = fs.Bool("quick", true, "shrink sizes/trials so the full suite finishes in minutes")
 		seed     = fs.Uint64("seed", 42, "experiment seed")
 		list     = fs.Bool("list", false, "list experiments and exit")

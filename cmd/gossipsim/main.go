@@ -11,6 +11,13 @@
 //	gossipsim -alg sharedbit -graph waypoint -n 5000 -k 8 -tau 1 -speed 0.02
 //	gossipsim -alg simsharedbit -graph group -n 2000 -k 8 -tau 1 -attract 0.9
 //
+// An adversarial strategy (-adversary, see internal/adversary) can be
+// layered over any topology, including the mobility models:
+//
+//	gossipsim -alg sharedbit -graph regular -n 256 -k 8 -tau 1 -adversary bipartition
+//	gossipsim -alg sharedbit -graph waypoint -n 1000 -k 8 -tau 1 -adversary cutrich -advbudget 100
+//	gossipsim -alg simsharedbit -graph regular -n 256 -k 8 -tau 1 -adversary blackout -advparts 4
+//
 // Comma lists in -n and -k, or -trials > 1, switch to the parallel sweep
 // path: the n×k cross-product grid runs -trials times per point on the
 // worker pool (see mobilegossip.RunSweep), printing one aggregate row per
@@ -73,6 +80,10 @@ func run(args []string) error {
 		groups    = fs.Int("groups", 0, "attractor count for -graph group (0 = default 4)")
 		attract   = fs.Float64("attract", 0, "gathering intensity in [0,1] for -graph group (0 = default 0.6; negative = 0)")
 		period    = fs.Int("period", 0, "commute cycle in rounds for -graph commuter (0 = default 64)")
+		advName   = fs.String("adversary", "none", "adversarial strategy layered over -graph: "+strings.Join(mobilegossip.AdversaryKindNames(), "|"))
+		advBudget = fs.Int("advbudget", 0, "max edges the adversary may cut per epoch (0 = unlimited)")
+		advParts  = fs.Int("advparts", 0, "adversary partition count: bridges groups / blackout regions (0 = default 4), topk k (0 = default 3)")
+		advPeriod = fs.Int("advperiod", 0, "blackout/partition event cycle in epochs (0 = default 8)")
 		epsilon   = fs.Float64("epsilon", 0, "ε-gossip fraction in (0,1); requires -alg sharedbit and -k = -n")
 		seed      = fs.Uint64("seed", 1, "run seed (fully determines the execution, sweep or single)")
 		maxRounds = fs.Int("maxrounds", 0, "abort after this many rounds (0 = engine default)")
@@ -107,6 +118,10 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	adv, err := mobilegossip.ParseAdversaryKind(*advName)
+	if err != nil {
+		return err
+	}
 	ns, err := parseIntList("n", *nList)
 	if err != nil {
 		return err
@@ -125,6 +140,8 @@ func run(args []string) error {
 				Kind: kind, Degree: *degree, P: *p, Radius: *radius, Attach: *attach,
 				Speed: *speed, Pause: *pause, LevyAlpha: *levyAlpha,
 				Groups: *groups, Attract: *attract, Period: *period,
+				Adversary: adv, AdvBudget: *advBudget,
+				AdvParts: *advParts, AdvPeriod: *advPeriod,
 			},
 			Tau:        *tau,
 			Epsilon:    *epsilon,

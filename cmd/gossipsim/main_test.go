@@ -1,0 +1,57 @@
+package main
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// FuzzParseIntList fuzzes the sweep-list flag parser: any input either
+// yields a list of positive ints matching the comma fields, or an error —
+// never a panic, never a zero/negative size smuggled into a sweep.
+func FuzzParseIntList(f *testing.F) {
+	for _, s := range []string{"64", "64,128,256", " 8 , 16 ", "", ",", "0", "-3",
+		"1e9", "99999999999999999999", "64,,128", "\x00", strings.Repeat("9", 400)} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		got, err := parseIntList("n", s)
+		if err != nil {
+			if got != nil {
+				t.Fatal("error return carried a partial list")
+			}
+			return
+		}
+		fields := strings.Split(s, ",")
+		if len(got) != len(fields) {
+			t.Fatalf("%q: %d values from %d fields", s, len(got), len(fields))
+		}
+		for i, v := range got {
+			if v <= 0 {
+				t.Fatalf("%q: non-positive value %d accepted", s, v)
+			}
+			want, err := strconv.Atoi(strings.TrimSpace(fields[i]))
+			if err != nil || want != v {
+				t.Fatalf("%q: field %d parsed as %d (want %d, %v)", s, i, v, want, err)
+			}
+		}
+	})
+}
+
+// TestRunFlagErrors pins the CLI error paths the fuzzers cannot reach
+// through parseIntList alone.
+func TestRunFlagErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-alg", "nope"},
+		{"-graph", "nope"},
+		{"-adversary", "nope"},
+		{"-adversary", "cutrich", "-advbudget", "-1"},
+		{"-n", "0"},
+		{"-k", "x"},
+		{"-trace", "1", "-trials", "2"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -12,6 +12,7 @@
 //	graphinfo -all -n 24
 //	graphinfo -graph waypoint -n 256 -tau 1 -speed 0.02 -rounds 64
 //	graphinfo -graph regular -n 64 -tau 4 -rounds 64
+//	graphinfo -graph regular -n 128 -tau 1 -adversary bridges -rounds 64
 //
 // For n ≤ 22 the vertex expansion is computed exactly by subset
 // enumeration; above that a randomized local-search estimate (an upper
@@ -62,12 +63,21 @@ func run(args []string) error {
 		groups    = fs.Int("groups", 0, "group attractor count (0 = default 4)")
 		attract   = fs.Float64("attract", 0, "gathering intensity (0 = default 0.6; negative = 0)")
 		period    = fs.Int("period", 0, "commuter cycle in rounds (0 = default 64)")
+		advName   = fs.String("adversary", "none", "adversarial strategy layered over -graph: "+strings.Join(mobilegossip.AdversaryKindNames(), "|"))
+		advBudget = fs.Int("advbudget", 0, "max edges the adversary may cut per epoch (0 = unlimited)")
+		advParts  = fs.Int("advparts", 0, "adversary partition count (0 = default: 4 groups/regions, topk 3)")
+		advPeriod = fs.Int("advperiod", 0, "blackout/partition event cycle in epochs (0 = default 8)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	sizes, err := parseSizes(*ns)
+	if err != nil {
+		return err
+	}
+
+	adv, err := mobilegossip.ParseAdversaryKind(*advName)
 	if err != nil {
 		return err
 	}
@@ -81,6 +91,8 @@ func run(args []string) error {
 			Kind: kind, Degree: *degree, P: *p, Radius: *radius,
 			Speed: *speed, Pause: *pause, LevyAlpha: *levyAlpha,
 			Groups: *groups, Attract: *attract, Period: *period,
+			Adversary: adv, AdvBudget: *advBudget,
+			AdvParts: *advParts, AdvPeriod: *advPeriod,
 		}, nil
 	}
 

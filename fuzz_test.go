@@ -1,0 +1,117 @@
+package mobilegossip_test
+
+// Native Go fuzz targets for the public decoding surfaces: checkpoint
+// resumption and the name parsers. The contract under fuzz is uniform —
+// hostile input yields an error, never a panic. CI runs each target for a
+// short -fuzztime smoke; testdata/fuzz holds the committed seed corpus.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mobilegossip"
+	"mobilegossip/internal/ckpt"
+)
+
+// checkpointBytes produces a real checkpoint to seed the corpus: a small
+// adversarially jammed mobility run snapshotted mid-flight, which reaches
+// every section of the stream format.
+func checkpointBytes(tb testing.TB, rounds int) []byte {
+	cfg := mobilegossip.Config{
+		Algorithm: mobilegossip.AlgSharedBit, N: 24, K: 3,
+		Topology: mobilegossip.Topology{
+			Kind: mobilegossip.MobileWaypoint, Speed: 0.03,
+			Adversary: mobilegossip.AdvCutRich, AdvBudget: 6,
+		},
+		Tau: 1, Seed: 99,
+	}
+	sim, err := mobilegossip.New(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for i := 0; i < rounds && !sim.Done(); i++ {
+		if _, err := sim.Step(); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := sim.Checkpoint(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// resumeFuzzN peeks at the checkpointed network size so the fuzz target can
+// skip inputs whose (possibly mutated) config would make Resume allocate a
+// huge-but-structurally-valid simulation; the robustness property under
+// test is decode safety, not large-run throughput.
+func resumeFuzzN(data []byte) (int, bool) {
+	r := ckpt.NewReader(bytes.NewReader(data))
+	if r.String() != "mobilegossip/checkpoint" {
+		return 0, r.Err() == nil
+	}
+	_ = r.U64() // version
+	r.Section("config")
+	_ = r.Int() // algorithm
+	n := r.Int()
+	return n, r.Err() == nil
+}
+
+// FuzzResume feeds arbitrary bytes to mobilegossip.Resume: malformed,
+// truncated, or bit-flipped checkpoints must all return errors, not panic.
+func FuzzResume(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("mobilegossip/checkpoint"))
+	full := checkpointBytes(f, 10)
+	f.Add(full)
+	f.Add(full[:len(full)/2])
+	f.Add(full[:len(full)-1])
+	f.Add(checkpointBytes(f, 0))
+	flipped := append([]byte(nil), full...)
+	flipped[len(flipped)/3] ^= 0x40
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if n, ok := resumeFuzzN(data); ok && (n < 0 || n > 4096) {
+			t.Skip("structurally valid header with an out-of-scope network size")
+		}
+		sim, err := mobilegossip.Resume(bytes.NewReader(data))
+		if err == nil && sim == nil {
+			t.Fatal("Resume returned neither a simulation nor an error")
+		}
+	})
+}
+
+// FuzzParseNames exercises the three name parsers (the CLI flag surface):
+// any string either resolves to a value that round-trips through String, or
+// errors with the valid-name list.
+func FuzzParseNames(f *testing.F) {
+	for _, s := range []string{"", "sharedbit", "waypoint", "bipartition", "none",
+		"SharedBit", "gnp\x00", "cutrich ", strings.Repeat("x", 300)} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		if a, err := mobilegossip.ParseAlgorithm(s); err == nil {
+			if a.String() != s {
+				t.Fatalf("algorithm %q does not round-trip (got %q)", s, a.String())
+			}
+		} else if !strings.Contains(err.Error(), "sharedbit") {
+			t.Fatalf("algorithm error does not list valid names: %v", err)
+		}
+		if k, err := mobilegossip.ParseTopologyKind(s); err == nil {
+			if k.String() != s {
+				t.Fatalf("topology %q does not round-trip (got %q)", s, k.String())
+			}
+		} else if !strings.Contains(err.Error(), "waypoint") {
+			t.Fatalf("topology error does not list valid names: %v", err)
+		}
+		if k, err := mobilegossip.ParseAdversaryKind(s); err == nil {
+			if s != "" && k.String() != s {
+				t.Fatalf("adversary %q does not round-trip (got %q)", s, k.String())
+			}
+		} else if !strings.Contains(err.Error(), "cutrich") {
+			t.Fatalf("adversary error does not list valid names: %v", err)
+		}
+	})
+}

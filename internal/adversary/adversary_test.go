@@ -1,0 +1,376 @@
+package adversary
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"mobilegossip/internal/ckpt"
+	"mobilegossip/internal/dyngraph"
+	"mobilegossip/internal/graph"
+	"mobilegossip/internal/mobility"
+	"mobilegossip/internal/mtm"
+	"mobilegossip/internal/prand"
+)
+
+// staticBase returns a fresh 4-regular base schedule (adversary engines
+// mutate shared state, so every engine gets its own).
+func staticBase(n int, seed uint64) dyngraph.Dynamic {
+	return dyngraph.NewStatic(graph.RandomRegular(n, 4, prand.New(seed)))
+}
+
+// mobileBase returns a fresh random-waypoint mobility schedule.
+func mobileBase(n, tau int, seed uint64) dyngraph.Dynamic {
+	return mobility.New(mobility.Waypoint(0.05, 1), mobility.Options{N: n, Tau: tau, Seed: seed})
+}
+
+// fakeReader is a deterministic StateReader for tests: node u knows
+// (u*7)%13 tokens, shifted per round so the adaptive strategies see
+// changing state.
+type fakeReader struct{ shift int }
+
+func (f fakeReader) TokenCount(u int) int { return (u*7 + f.shift) % 13 }
+
+// TestStrategiesConnectedAndPatchMatchesRebuild is the patch ≡ rebuild
+// quick-check of the ISSUE's property satellite, run for every strategy
+// over both a static and a mobility base: at every round the patched CSR
+// must be element-for-element identical to a from-scratch Builder rebuild,
+// and connected.
+func TestStrategiesConnectedAndPatchMatchesRebuild(t *testing.T) {
+	const n, tau, rounds = 60, 2, 41
+	for _, mk := range []struct {
+		label string
+		base  func(seed uint64) dyngraph.Dynamic
+	}{
+		{"static", func(seed uint64) dyngraph.Dynamic { return staticBase(n, seed) }},
+		{"mobility", func(seed uint64) dyngraph.Dynamic { return mobileBase(n, tau, seed) }},
+	} {
+		for _, strat := range Strategies() {
+			t.Run(mk.label+"/"+strat.Name(), func(t *testing.T) {
+				opts := Options{Tau: tau, Seed: 91, Budget: 0}
+				patched := New(mk.base(7), strat, opts)
+				oracle := New(mk.base(7), strat, Options{Tau: tau, Seed: 91, Rebuild: true})
+				patched.Bind(fakeReader{})
+				oracle.Bind(fakeReader{})
+				for r := 1; r <= rounds; r++ {
+					pg, og := patched.At(r), oracle.At(r)
+					if !pg.Connected() {
+						t.Fatalf("round %d: disconnected topology", r)
+					}
+					if !pg.EqualCSR(og) {
+						t.Fatalf("round %d: patched CSR diverges from rebuild oracle", r)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestDeterministicReplay pins byte-determinism: two engines over the same
+// seed produce identical CSRs, and a backward query replays the schedule.
+func TestDeterministicReplay(t *testing.T) {
+	for _, strat := range Strategies() {
+		t.Run(strat.Name(), func(t *testing.T) {
+			a := New(staticBase(48, 3), strat, Options{Tau: 1, Seed: 5})
+			b := New(staticBase(48, 3), strat, Options{Tau: 1, Seed: 5})
+			for r := 1; r <= 20; r++ {
+				if !a.At(r).EqualCSR(b.At(r)) {
+					t.Fatalf("round %d differs across identically seeded engines", r)
+				}
+			}
+			// Oblivious/catastrophic strategies replay exactly (unbound
+			// adaptive ones see constant zero state, so they do too).
+			snap := a.At(5)
+			edges := snap.AppendPackedEdges(nil)
+			a.At(20)
+			replayed := a.At(5).AppendPackedEdges(nil)
+			if len(edges) != len(replayed) {
+				t.Fatalf("replay edge count %d, want %d", len(replayed), len(edges))
+			}
+			for i := range edges {
+				if edges[i] != replayed[i] {
+					t.Fatalf("replayed round 5 differs at edge %d", i)
+				}
+			}
+		})
+	}
+}
+
+// TestDeltaMatchesGraphDiff checks DeltaFor against the generic diff of the
+// consecutive topologies for every strategy.
+func TestDeltaMatchesGraphDiff(t *testing.T) {
+	for _, strat := range Strategies() {
+		t.Run(strat.Name(), func(t *testing.T) {
+			e := New(staticBase(48, 11), strat, Options{Tau: 1, Seed: 17})
+			e.Bind(fakeReader{shift: 3})
+			prev := e.At(1).AppendPackedEdges(nil)
+			for r := 2; r <= 24; r++ {
+				cur := e.At(r).AppendPackedEdges(nil)
+				d := e.DeltaFor(r)
+				wantAdd, wantRem := graph.DiffPacked(prev, cur, nil, nil)
+				if len(d.Added) != len(wantAdd) || len(d.Removed) != len(wantRem) {
+					t.Fatalf("round %d: delta (+%d,-%d), graph diff (+%d,-%d)",
+						r, len(d.Added), len(d.Removed), len(wantAdd), len(wantRem))
+				}
+				for i := range wantAdd {
+					if d.Added[i] != wantAdd[i] {
+						t.Fatalf("round %d: added[%d] = %v, want %v", r, i, d.Added[i], wantAdd[i])
+					}
+				}
+				for i := range wantRem {
+					if d.Removed[i] != wantRem[i] {
+						t.Fatalf("round %d: removed[%d] = %v, want %v", r, i, d.Removed[i], wantRem[i])
+					}
+				}
+				prev = cur
+			}
+		})
+	}
+}
+
+// TestBudgetBoundsDestruction checks the per-epoch budget: at most Budget
+// base edges may be missing from any round's topology.
+func TestBudgetBoundsDestruction(t *testing.T) {
+	base := graph.RandomRegular(64, 4, prand.New(23))
+	for _, budget := range []int{1, 4, 9} {
+		for _, strat := range Strategies() {
+			e := New(dyngraph.NewStatic(base), strat, Options{Tau: 1, Seed: 29, Budget: budget})
+			e.Bind(fakeReader{shift: 1})
+			for r := 1; r <= 16; r++ {
+				g := e.At(r)
+				missing := 0
+				for u := 0; u < base.N(); u++ {
+					for _, v := range base.Adjacency(u) {
+						if int32(u) < v && !g.HasEdge(u, int(v)) {
+							missing++
+						}
+					}
+				}
+				if missing > budget {
+					t.Fatalf("%s budget %d: round %d is missing %d base edges",
+						strat.Name(), budget, r, missing)
+				}
+			}
+		}
+	}
+}
+
+// TestAdaptiveReadsState checks that Isolate actually aims at the reader's
+// token-richest node: its base edges are gone from the perturbed topology.
+func TestAdaptiveReadsState(t *testing.T) {
+	base := graph.RandomRegular(40, 4, prand.New(41))
+	e := New(dyngraph.NewStatic(base), Isolate(), Options{Tau: 1, Seed: 43})
+	rich := 27
+	e.Bind(readerFunc(func(u int) int {
+		if u == rich {
+			return 100
+		}
+		return 0
+	}))
+	// Every base edge of the rich node is cut; what survives are at most
+	// the two chain bridges connectivity repair may hang on it.
+	g := e.At(1)
+	if d := g.Degree(rich); d > 2 {
+		t.Fatalf("rich node kept degree %d (base %d); isolation did not fire", d, base.Degree(rich))
+	}
+	// Unbound, the same seed isolates node 0 (all-zero ties break by id).
+	e2 := New(dyngraph.NewStatic(base), Isolate(), Options{Tau: 1, Seed: 43})
+	if d := e2.At(1).Degree(0); d > 2 {
+		t.Fatalf("unbound isolate did not target node 0 (degree %d)", d)
+	}
+}
+
+type readerFunc func(u int) int
+
+func (f readerFunc) TokenCount(u int) int { return f(u) }
+
+// TestFrozenAdversary pins the Tau ≤ 0 semantics: one perturbation, then a
+// never-changing (τ = ∞) topology.
+func TestFrozenAdversary(t *testing.T) {
+	e := New(staticBase(32, 51), Bipartition(), Options{Tau: 0, Seed: 53})
+	if e.Stability() != dyngraph.Infinite {
+		t.Fatalf("Stability() = %d, want Infinite", e.Stability())
+	}
+	g1 := e.At(1)
+	if g100 := e.At(100); g100 != g1 {
+		t.Fatal("frozen adversary changed its topology")
+	}
+	if d := e.DeltaFor(50); d.Change() {
+		t.Fatal("frozen adversary reported a delta")
+	}
+	if !g1.Connected() {
+		t.Fatal("frozen perturbed topology disconnected")
+	}
+}
+
+// TestCheckpointRestore snapshots every strategy mid-run (over both base
+// families) and requires the restored engine to continue byte-identically.
+func TestCheckpointRestore(t *testing.T) {
+	const n, tau, at, rounds = 48, 2, 11, 31
+	for _, mk := range []struct {
+		label string
+		base  func(seed uint64) dyngraph.Dynamic
+	}{
+		{"static", func(seed uint64) dyngraph.Dynamic { return staticBase(n, seed) }},
+		{"mobility", func(seed uint64) dyngraph.Dynamic { return mobileBase(n, tau, seed) }},
+	} {
+		for _, strat := range Strategies() {
+			t.Run(mk.label+"/"+strat.Name(), func(t *testing.T) {
+				opts := Options{Tau: tau, Seed: 61}
+				orig := New(mk.base(9), strat, opts)
+				orig.Bind(fakeReader{})
+				orig.At(at)
+
+				var buf bytes.Buffer
+				w := ckpt.NewWriter(&buf)
+				orig.CheckpointTo(w)
+				if err := w.Flush(); err != nil {
+					t.Fatal(err)
+				}
+
+				restored := New(mk.base(9), strat, opts)
+				restored.Bind(fakeReader{})
+				if err := restored.RestoreFrom(ckpt.NewReader(&buf)); err != nil {
+					t.Fatalf("RestoreFrom: %v", err)
+				}
+				for r := at; r <= rounds; r++ {
+					if !orig.At(r).EqualCSR(restored.At(r)) {
+						t.Fatalf("round %d diverges after restore", r)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestRestoreRejectsMismatch pins the loud-failure contract for wrong-shape
+// streams.
+func TestRestoreRejectsMismatch(t *testing.T) {
+	small := New(staticBase(16, 1), Bipartition(), Options{Tau: 1, Seed: 2})
+	small.At(3)
+	var buf bytes.Buffer
+	w := ckpt.NewWriter(&buf)
+	small.CheckpointTo(w)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	big := New(staticBase(32, 1), Bipartition(), Options{Tau: 1, Seed: 2})
+	if err := big.RestoreFrom(ckpt.NewReader(&buf)); err == nil {
+		t.Fatal("restore across node counts succeeded")
+	}
+	// Truncated stream: error, not panic.
+	small.At(5)
+	buf.Reset()
+	w = ckpt.NewWriter(&buf)
+	small.CheckpointTo(w)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/3]
+	fresh := New(staticBase(16, 1), Bipartition(), Options{Tau: 1, Seed: 2})
+	if err := fresh.RestoreFrom(ckpt.NewReader(bytes.NewReader(trunc))); err == nil {
+		t.Fatal("truncated restore succeeded")
+	}
+}
+
+// TestRestoreRejectsCorruptEdgeList pins the restore-time edge validation:
+// a tampered checkpoint whose edge list carries an out-of-range endpoint or
+// breaks canonical order must fail RestoreFrom — not restore silently and
+// panic inside Patcher.Apply epochs later.
+func TestRestoreRejectsCorruptEdgeList(t *testing.T) {
+	write := func(edges []uint64) []byte {
+		var buf bytes.Buffer
+		w := ckpt.NewWriter(&buf)
+		w.Section("adversary.engine")
+		w.Int(8)
+		for i := 0; i < 4; i++ {
+			w.U64(uint64(i + 1))
+		}
+		w.Int(2) // epoch
+		w.U64s(edges)
+		w.Bool(false) // stateless base
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	cases := map[string][]uint64{
+		"endpoint out of range": {graph.PackEdge(0, 1), uint64(2)<<32 | 1000},
+		"self loop":             {uint64(3)<<32 | 3},
+		"reversed orientation":  {uint64(5)<<32 | 2},
+		"not ascending":         {graph.PackEdge(2, 3), graph.PackEdge(0, 1)},
+		"duplicate":             {graph.PackEdge(0, 1), graph.PackEdge(0, 1)},
+	}
+	for name, edges := range cases {
+		e := New(staticBase(8, 1), Bipartition(), Options{Tau: 1, Seed: 2})
+		if err := e.RestoreFrom(ckpt.NewReader(bytes.NewReader(write(edges)))); err == nil {
+			t.Errorf("%s: corrupt edge list restored without error", name)
+		}
+	}
+	// The same stream with a clean list restores and keeps stepping.
+	good := []uint64{graph.PackEdge(0, 1), graph.PackEdge(1, 2), graph.PackEdge(2, 7)}
+	e := New(staticBase(8, 1), Bipartition(), Options{Tau: 1, Seed: 2})
+	if err := e.RestoreFrom(ckpt.NewReader(bytes.NewReader(write(good)))); err != nil {
+		t.Fatalf("clean restore failed: %v", err)
+	}
+	if g := e.At(9); !g.Connected() {
+		t.Fatal("post-restore topology disconnected")
+	}
+}
+
+// randProto is a minimal protocol (propose to a uniform neighbor with
+// probability 1/2) exercising the engine's concurrent backend over an
+// adversarial schedule; the -race CI job runs this test with the race
+// detector on.
+type randProto struct{}
+
+func (p *randProto) TagBits() int               { return 0 }
+func (p *randProto) Tag(int, mtm.NodeID) uint64 { return 0 }
+func (p *randProto) Done() bool                 { return false }
+func (p *randProto) Exchange(_ int, c *mtm.Conn) {
+	c.ChargeBits(1)
+}
+func (p *randProto) Decide(_ int, _ mtm.NodeID, view []mtm.Neighbor, rng *prand.RNG) mtm.Action {
+	if len(view) == 0 || rng.Bool() {
+		return mtm.Listen()
+	}
+	return mtm.Propose(view[rng.Intn(len(view))].ID)
+}
+
+// TestConcurrentEngineOverAdversary drives the goroutine-per-connection
+// backend over an adaptive adversarial schedule and requires the meters to
+// match the sequential backend exactly (the package's determinism contract
+// under concurrency).
+func TestConcurrentEngineOverAdversary(t *testing.T) {
+	run := func(concurrent bool) mtm.Result {
+		adv := New(mobileBase(40, 1, 77), CutRich(), Options{Tau: 1, Seed: 79, Budget: 10})
+		adv.Bind(fakeReader{shift: 2})
+		eng := mtm.NewEngine(adv, &randProto{}, mtm.Config{
+			Seed: 81, MaxRounds: 40, Concurrent: concurrent,
+		})
+		res, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	seq, conc := run(false), run(true)
+	if seq != conc {
+		t.Fatalf("concurrent backend diverged over adversary:\n seq  %+v\n conc %+v", seq, conc)
+	}
+}
+
+// TestNameAndStrategyAccessors covers the display plumbing.
+func TestNameAndStrategyAccessors(t *testing.T) {
+	e := New(staticBase(16, 1), Bridges(3), Options{Tau: 4, Seed: 1})
+	want := fmt.Sprintf("adv(%s,τ=4)+%s", Bridges(3).Name(), staticBase(16, 1).Name())
+	if e.Name() != want {
+		t.Fatalf("Name() = %q, want %q", e.Name(), want)
+	}
+	if e.Strategy().Name() != "bridges(3)" {
+		t.Fatalf("Strategy() = %q", e.Strategy().Name())
+	}
+	if e.N() != 16 {
+		t.Fatalf("N() = %d", e.N())
+	}
+}

@@ -61,6 +61,9 @@ func OneTokenPerNode(n, k int) Assignment {
 	if k > n {
 		k = n
 	}
+	if k < 0 {
+		k = 0
+	}
 	a := Assignment{Universe: n, Tokens: make([]int, k), Owners: make([]int, k)}
 	for i := 0; i < k; i++ {
 		a.Tokens[i] = i + 1

@@ -1,0 +1,63 @@
+package graph
+
+// Packed edge lists are the exchange format between the dynamic-topology
+// producers (internal/mobility's proximity pipeline, internal/adversary's
+// perturbation engine) and the CSR maintenance layer: an undirected edge
+// {u, v} with u < v is one uint64, u<<32 | v, and a whole topology is a
+// sorted []uint64 — mergeable, diffable and comparable with flat integer
+// scans, no per-edge allocation.
+
+// PackEdge packs the undirected edge {u, v} into its canonical uint64 form
+// (smaller endpoint in the high word).
+func PackEdge(u, v int32) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(uint32(u))<<32 | uint64(uint32(v))
+}
+
+// UnpackEdge unpacks a packed edge into its (u, v) pair with u < v.
+func UnpackEdge(e uint64) [2]int32 { return [2]int32{int32(e >> 32), int32(uint32(e))} }
+
+// AppendPackedEdges appends g's edges to buf in ascending packed order
+// (CSR adjacency is sorted, and each edge is emitted at its smaller
+// endpoint, so no sort is needed) and returns the extended slice.
+func (g *Graph) AppendPackedEdges(buf []uint64) []uint64 {
+	n := g.N()
+	for u := 0; u < n; u++ {
+		for _, v := range g.Adjacency(u) {
+			if int32(u) < v {
+				buf = append(buf, uint64(uint32(u))<<32|uint64(uint32(v)))
+			}
+		}
+	}
+	return buf
+}
+
+// DiffPacked merges two sorted packed edge lists and appends the edges only
+// in next to added and the edges only in prev to removed — the (u, v) pair
+// form graph.Patcher consumes. Pass in reusable buffers (typically
+// buf[:0]); the extended slices are returned.
+func DiffPacked(prev, next []uint64, added, removed [][2]int32) (a, r [][2]int32) {
+	i, j := 0, 0
+	for i < len(prev) && j < len(next) {
+		switch {
+		case prev[i] == next[j]:
+			i++
+			j++
+		case prev[i] < next[j]:
+			removed = append(removed, UnpackEdge(prev[i]))
+			i++
+		default:
+			added = append(added, UnpackEdge(next[j]))
+			j++
+		}
+	}
+	for ; i < len(prev); i++ {
+		removed = append(removed, UnpackEdge(prev[i]))
+	}
+	for ; j < len(next); j++ {
+		added = append(added, UnpackEdge(next[j]))
+	}
+	return added, removed
+}

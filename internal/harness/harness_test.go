@@ -8,8 +8,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 24 {
-		t.Fatalf("registry has %d experiments, want 24 (E1..E14 paper exhibits + E15..E21 ablations + E22..E24 mobility)", len(all))
+	if len(all) != 27 {
+		t.Fatalf("registry has %d experiments, want 27 (E1..E14 paper exhibits + E15..E21 ablations + E22..E24 mobility + E25..E27 adversary)", len(all))
 	}
 	for i, e := range all {
 		if want := i + 1; expOrder(e.ID) != want {

@@ -59,6 +59,62 @@ func meanRoundsGrid(o Options, cfgs []mobilegossip.Config) ([]float64, error) {
 	return means, nil
 }
 
+// runStats are the per-config means meanStatsGrid aggregates: round count
+// plus the measured topology churn (delta-capable schedules only).
+type runStats struct {
+	Rounds, EdgesAdded, EdgesRemoved float64
+}
+
+// churnPerRoundMean is the mean churned edges per executed round.
+func (s runStats) churnPerRoundMean() float64 {
+	if s.Rounds <= 0 {
+		return 0
+	}
+	return (s.EdgesAdded + s.EdgesRemoved) / s.Rounds
+}
+
+// meanStatsGrid is meanRoundsGrid keeping the runs' churn meters too — the
+// adversary experiments report the churn the runs actually experienced
+// (adaptive strategies cut differently against live state than against a
+// throwaway replay, so a churnFor-style re-measure would be wrong for them).
+func meanStatsGrid(o Options, cfgs []mobilegossip.Config) ([]runStats, error) {
+	rows, err := runner.MapGrid(runnerCfg(o), len(cfgs), trials(o),
+		func(p, t int, _ uint64) (runStats, error) {
+			cfg := cfgs[p]
+			cfg.Seed = trialSeed(o, t)
+			res, err := mobilegossip.Run(cfg)
+			if err != nil {
+				return runStats{}, err
+			}
+			if !res.Solved {
+				return runStats{}, fmt.Errorf("harness: %v on %s unsolved after %d rounds",
+					cfg.Algorithm, res.Topology, res.Rounds)
+			}
+			return runStats{
+				Rounds:     float64(res.Rounds),
+				EdgesAdded: float64(res.EdgesAdded), EdgesRemoved: float64(res.EdgesRemoved),
+			}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	means := make([]runStats, len(cfgs))
+	for p, xs := range rows {
+		var m runStats
+		for _, s := range xs {
+			m.Rounds += s.Rounds
+			m.EdgesAdded += s.EdgesAdded
+			m.EdgesRemoved += s.EdgesRemoved
+		}
+		nf := float64(len(xs))
+		m.Rounds /= nf
+		m.EdgesAdded /= nf
+		m.EdgesRemoved /= nf
+		means[p] = m
+	}
+	return means, nil
+}
+
 // meanRounds runs cfg over several seeds and returns the mean round count.
 func meanRounds(o Options, cfg mobilegossip.Config) (float64, error) {
 	ms, err := meanRoundsGrid(o, []mobilegossip.Config{cfg})

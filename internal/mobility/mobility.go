@@ -28,6 +28,8 @@ package mobility
 
 import (
 	"math"
+
+	"mobilegossip/internal/graph"
 )
 
 // DefaultRadius returns the radio radius giving a mean unit-disk degree of
@@ -61,14 +63,10 @@ type field struct {
 	pxy  []float64
 	cand []int32 // per-point neighbor candidates (v > u)
 
-	edges   [2][]uint64 // double-buffered sorted packed (u<<32|v) edge lists
-	cur     int         // which buffer holds the current epoch's edges
-	scratch []uint64    // merge target for connectivity-repair bridges
+	edges [2][]uint64 // double-buffered sorted packed (u<<32|v) edge lists
+	cur   int         // which buffer holds the current epoch's edges
 
-	parent   []int32 // union-find over the proximity components
-	reps     []int32 // component representatives (ascending node id)
-	rootMark []int32 // stamp array marking seen roots
-	stamp    int32
+	conn *graph.Connector // connectivity repair (relay-bridge chains)
 
 	added, removed [][2]int32 // diff output, reused
 }
@@ -94,14 +92,12 @@ func newField(n int, r float64) *field {
 		n: n, r: r, r2: r * r,
 		x: make([]float64, n), y: make([]float64, n),
 		side: side, inv: float64(side), caps: cells,
-		cellOf:   make([]int32, n),
-		clOff:    make([]int32, cells+1),
-		clCur:    make([]int32, cells),
-		clPts:    make([]int32, n),
-		pxy:      make([]float64, 2*n),
-		parent:   make([]int32, n),
-		reps:     make([]int32, 0, 16),
-		rootMark: make([]int32, n),
+		cellOf: make([]int32, n),
+		clOff:  make([]int32, cells+1),
+		clCur:  make([]int32, cells),
+		clPts:  make([]int32, n),
+		pxy:    make([]float64, 2*n),
+		conn:   graph.NewConnector(n),
 	}
 }
 
@@ -118,10 +114,11 @@ func (f *field) reset() {
 func (f *field) advance() (added, removed [][2]int32) {
 	prev := f.edges[f.cur]
 	next := f.computeEdges(f.edges[1-f.cur][:0])
-	next = f.repair(next)
+	next = f.conn.Connect(next)
 	f.edges[1-f.cur] = next
 	f.cur = 1 - f.cur
-	return f.diff(prev, next)
+	f.added, f.removed = graph.DiffPacked(prev, next, f.added[:0], f.removed[:0])
+	return f.added, f.removed
 }
 
 // computeEdges emits the unit-disk edges in globally sorted packed order:
@@ -201,103 +198,6 @@ func (f *field) computeEdges(out []uint64) []uint64 {
 	}
 	return out
 }
-
-// repair makes the edge set connected: union-find over the proximity edges,
-// then a chain of virtual relay edges over the component representatives
-// (smallest node id per component, which arrive — and therefore chain — in
-// ascending order, keeping the merged list sorted). Disconnection is rare
-// at the default radius, common when gathering drains the field's edges.
-func (f *field) repair(edges []uint64) []uint64 {
-	n := f.n
-	for i := 0; i < n; i++ {
-		f.parent[i] = int32(i)
-	}
-	for _, e := range edges {
-		f.union(int32(e>>32), int32(uint32(e)))
-	}
-	f.stamp++
-	f.reps = f.reps[:0]
-	for u := 0; u < n; u++ {
-		r := f.find(int32(u))
-		if f.rootMark[r] != f.stamp {
-			f.rootMark[r] = f.stamp
-			f.reps = append(f.reps, int32(u))
-		}
-	}
-	if len(f.reps) <= 1 {
-		return edges
-	}
-	// Bridge reps[i]–reps[i+1]; both endpoints ascend, so the bridge list
-	// is itself sorted and one merge pass restores global order. The merge
-	// target and the input buffer trade places so both are reused.
-	merged := f.scratch[:0]
-	bi := 0
-	bridge := func() uint64 {
-		return uint64(f.reps[bi])<<32 | uint64(f.reps[bi+1])
-	}
-	for _, e := range edges {
-		for bi+1 < len(f.reps) && bridge() < e {
-			merged = append(merged, bridge())
-			bi++
-		}
-		merged = append(merged, e)
-	}
-	for bi+1 < len(f.reps) {
-		merged = append(merged, bridge())
-		bi++
-	}
-	f.scratch = edges
-	return merged
-}
-
-func (f *field) find(u int32) int32 {
-	for f.parent[u] != u {
-		f.parent[u] = f.parent[f.parent[u]] // path halving
-		u = f.parent[u]
-	}
-	return u
-}
-
-func (f *field) union(u, v int32) {
-	ru, rv := f.find(u), f.find(v)
-	if ru == rv {
-		return
-	}
-	if ru < rv {
-		f.parent[rv] = ru
-	} else {
-		f.parent[ru] = rv
-	}
-}
-
-// diff merges the previous and current sorted edge lists into the added and
-// removed pair lists.
-func (f *field) diff(prev, next []uint64) (added, removed [][2]int32) {
-	f.added, f.removed = f.added[:0], f.removed[:0]
-	i, j := 0, 0
-	for i < len(prev) && j < len(next) {
-		switch {
-		case prev[i] == next[j]:
-			i++
-			j++
-		case prev[i] < next[j]:
-			f.removed = append(f.removed, unpack(prev[i]))
-			i++
-		default:
-			f.added = append(f.added, unpack(next[j]))
-			j++
-		}
-	}
-	for ; i < len(prev); i++ {
-		f.removed = append(f.removed, unpack(prev[i]))
-	}
-	for ; j < len(next); j++ {
-		f.added = append(f.added, unpack(next[j]))
-	}
-	return f.added, f.removed
-}
-
-func unpack(e uint64) [2]int32 { return [2]int32{int32(e >> 32), int32(uint32(e))} }
 
 // sortI32 sorts a short int32 slice ascending; candidate runs are a handful
 // of points at realistic densities, so insertion sort wins.

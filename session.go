@@ -5,12 +5,18 @@ import (
 	"errors"
 	"fmt"
 
+	"mobilegossip/internal/adversary"
 	"mobilegossip/internal/core"
 	"mobilegossip/internal/dyngraph"
 	"mobilegossip/internal/mtm"
 	"mobilegossip/internal/prand"
 	"mobilegossip/internal/trace"
 )
+
+// tokenCounts adapts the run state onto adversary.StateReader.
+type tokenCounts struct{ st *core.State }
+
+func (t tokenCounts) TokenCount(u int) int { return t.st.Set(u).Len() }
 
 // Simulation is a stateful gossip session: the stepwise, observable,
 // cancelable and resumable form of Run. Construct with New (or Resume),
@@ -90,9 +96,14 @@ func New(cfg Config) (*Simulation, error) {
 		cfg.TransferEps = 1 / (nf * nf * nf)
 	}
 
-	assign := core.OneTokenPerNode(cfg.N, cfg.K)
+	// With a custom Assignment, K is advisory and may be anything the
+	// assignment implies — the canonical placement must not even be
+	// computed from it (a hostile checkpoint can carry K < 0).
+	var assign core.Assignment
 	if cfg.Assignment != nil {
 		assign = *cfg.Assignment
+	} else {
+		assign = core.OneTokenPerNode(cfg.N, cfg.K)
 	}
 	st, err := core.NewState(cfg.N, assign, cfg.TransferEps)
 	if err != nil {
@@ -107,6 +118,12 @@ func New(cfg Config) (*Simulation, error) {
 	parts, err := buildProtocol(cfg, st)
 	if err != nil {
 		return nil, err
+	}
+
+	// Adaptive adversaries read the live token state; bind before round 1
+	// so even the initial topology is shaped by the starting assignment.
+	if adv, ok := dyn.(*adversary.Engine); ok {
+		adv.Bind(tokenCounts{st})
 	}
 
 	s := &Simulation{cfg: cfg, st: st, dyn: dyn, proto: parts.proto, parts: parts}

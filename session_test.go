@@ -44,11 +44,46 @@ func sessionMatrix() []mobilegossip.Config {
 		mobilegossip.Config{Algorithm: mobilegossip.AlgSharedBit, N: 20, K: 4,
 			Topology: static, TagBits: 4, Tau: 1, Seed: 17},
 	)
+	// Every adversary strategy gets a cell: the step/checkpoint/resume
+	// invariants must hold under adversarial topologies too — including the
+	// adaptive strategies, whose cuts depend on the live token state, and
+	// the mobility composition (adversary perturbing a moving crowd).
+	for i, adv := range mobilegossip.AdversaryKinds() {
+		cfgs = append(cfgs, mobilegossip.Config{
+			Algorithm: mobilegossip.AlgSharedBit, N: 24, K: 4,
+			Topology: mobilegossip.Topology{
+				Kind: mobilegossip.RandomRegular, Degree: 4,
+				Adversary: adv, AdvBudget: 12, AdvPeriod: 4,
+			},
+			Tau: 1, Seed: uint64(30 + i),
+		})
+	}
+	cfgs = append(cfgs,
+		// Adaptive adversary over a moving crowd (the full composition).
+		mobilegossip.Config{Algorithm: mobilegossip.AlgSimSharedBit, N: 32, K: 3,
+			Topology: mobilegossip.Topology{
+				Kind: mobilegossip.MobileWaypoint, Speed: 0.03,
+				Adversary: mobilegossip.AdvCutRich, AdvBudget: 10,
+			},
+			Tau: 1, Seed: 38},
+		// Frozen sabotage: a statically perturbed topology (τ = ∞), which
+		// is what lets CrowdedBin run under an adversary.
+		mobilegossip.Config{Algorithm: mobilegossip.AlgCrowdedBin, N: 24, K: 4,
+			Topology: mobilegossip.Topology{
+				Kind: mobilegossip.RandomRegular, Degree: 4,
+				Adversary: mobilegossip.AdvBipartition,
+			},
+			Seed: 39},
+	)
 	return cfgs
 }
 
 func cfgName(cfg mobilegossip.Config) string {
-	return fmt.Sprintf("%v_%v_tau%d_eps%v_b%d", cfg.Algorithm, cfg.Topology.Kind, cfg.Tau, cfg.Epsilon, cfg.TagBits)
+	name := fmt.Sprintf("%v_%v_tau%d_eps%v_b%d", cfg.Algorithm, cfg.Topology.Kind, cfg.Tau, cfg.Epsilon, cfg.TagBits)
+	if cfg.Topology.Adversary != mobilegossip.AdvNone {
+		name += "_adv" + cfg.Topology.Adversary.String()
+	}
+	return name
 }
 
 // TestSessionMatchesRun checks that New+Step and New+Run(ctx) reproduce

@@ -5,6 +5,7 @@ import (
 	"math"
 	"strings"
 
+	"mobilegossip/internal/adversary"
 	"mobilegossip/internal/dyngraph"
 	"mobilegossip/internal/graph"
 	"mobilegossip/internal/mobility"
@@ -132,6 +133,21 @@ type Topology struct {
 	// Period is MobileCommuter's commute cycle length in rounds
 	// (default 64).
 	Period int
+	// Adversary layers an adversarial edge-cutting strategy (see
+	// AdversaryKind) over the base topology — any Kind, including the
+	// mobility models. The adversary perturbs the edge list at every epoch
+	// boundary (per-round for Tau = 1, once-and-frozen for Tau = 0), with
+	// connectivity repaired by relay bridges. AdvNone disables it.
+	Adversary AdversaryKind
+	// AdvBudget caps the edges the adversary may cut per epoch
+	// (0 = unlimited).
+	AdvBudget int
+	// AdvParts is the partition count of AdvBridges groups and AdvBlackout
+	// regions (default 4), and the k of AdvTopK (default 3).
+	AdvParts int
+	// AdvPeriod is the event cycle length, in epochs, of AdvBlackout and
+	// AdvPartition (default 8).
+	AdvPeriod int
 }
 
 // buildStatic instantiates the topology on n vertices.
@@ -290,7 +306,35 @@ func zeroableDefault(v, def float64) float64 {
 // mobility kinds instead move a crowd continuously and change the topology
 // by edge deltas (dyngraph.DeltaDynamic); for them tau <= 0 freezes the
 // initial placement.
+//
+// When Topology.Adversary is set, the built schedule is wrapped in an
+// internal/adversary engine that perturbs every epoch's edge list under
+// the strategy (for tau <= 0: perturbs the initial topology once and
+// freezes it).
 func (t Topology) Build(n, tau int, seed uint64) (dyngraph.Dynamic, error) {
+	base, err := t.buildSchedule(n, tau, seed)
+	if err != nil || t.Adversary == AdvNone {
+		return base, err
+	}
+	if t.AdvBudget < 0 {
+		// The engine treats budget <= 0 as unlimited; a negative value is
+		// therefore always a caller mistake and must not silently select
+		// the maximally destructive adversary.
+		return nil, fmt.Errorf("mobilegossip: AdvBudget %d is negative (0 means unlimited)", t.AdvBudget)
+	}
+	strat, err := t.strategy()
+	if err != nil {
+		return nil, err
+	}
+	return adversary.New(base, strat, adversary.Options{
+		Tau:    tau,
+		Seed:   prand.Mix64(seed ^ 0x30644e72e131a029),
+		Budget: t.AdvBudget,
+	}), nil
+}
+
+// buildSchedule is Build without the adversary layer.
+func (t Topology) buildSchedule(n, tau int, seed uint64) (dyngraph.Dynamic, error) {
 	if m, ok := t.mobilityModel(); ok {
 		return mobility.New(m, mobility.Options{
 			N: n, Tau: tau, Radius: t.Radius, Seed: seed,
