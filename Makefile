@@ -13,7 +13,7 @@ FUZZTIME ?= 10s
 # make a PR pass.
 COVER_MIN ?= 85.0
 
-.PHONY: all build vet fmt lint test race race-concurrent cover fuzz bench bench-core bench-gate bench-baseline determinism examples checkpoint-determinism ci
+.PHONY: all build vet fmt lint test race race-concurrent cover fuzz bench bench-core bench-gate bench-baseline determinism-matrix examples ci
 
 all: build
 
@@ -47,12 +47,14 @@ test:
 race:
 	$(GO) test -race -short ./...
 
-# race-concurrent runs the goroutine-per-connection engine paths — the mtm
-# concurrent backend, the adversary schedules driven through it, and the
-# observer/trace layers that tap it — un-shortened under the race detector.
+# race-concurrent runs every parallel engine path — the mtm concurrent
+# backend, the shard-parallel round engine (including the root package's
+# n=10k all-algorithms/all-adversaries workload), the adversary schedules
+# driven through them, and the observer/trace layers that tap them —
+# un-shortened under the race detector.
 race-concurrent:
-	$(GO) test -race -count=1 -run 'Concurrent|Backends' \
-		./internal/mtm ./internal/adversary ./internal/trace ./internal/leader
+	$(GO) test -race -count=1 -run 'Concurrent|Backends|Sharded|EngineWorkers' \
+		. ./internal/mtm ./internal/adversary ./internal/trace ./internal/leader
 
 # cover enforces the ratcheted coverage floor (COVER_MIN, measured at merge
 # time) over the library surface — the root package and internal/... (cmd/
@@ -106,25 +108,41 @@ bench-gate: bench-core
 bench-baseline: bench-core
 	$(GO) run ./cmd/benchgate -input bench-core.txt -out BENCH_core.json -benchtime $(BENCHTIME)
 
-# determinism checks the runner's bit-reproducibility invariant: the E1
-# table (core sweeps), the E22 table (mobility schedules — motion, delta
-# patching and churn measurement included) and the E25 table (adversarial
-# schedules, adaptive state reads included) must be byte-identical at 1
-# worker and at GOMAXPROCS workers.
-determinism:
-	$(GO) run ./cmd/benchtable -exp e1 -parallel 1 -csv > e1_w1.csv
-	$(GO) run ./cmd/benchtable -exp e1 -csv > e1_wmax.csv
-	cmp e1_w1.csv e1_wmax.csv
-	@rm -f e1_w1.csv e1_wmax.csv
-	$(GO) run ./cmd/benchtable -exp e22 -parallel 1 -csv > e22_w1.csv
-	$(GO) run ./cmd/benchtable -exp e22 -csv > e22_wmax.csv
-	cmp e22_w1.csv e22_wmax.csv
-	@rm -f e22_w1.csv e22_wmax.csv
-	$(GO) run ./cmd/benchtable -exp e25,e26,e27 -parallel 1 -csv > eadv_w1.csv
-	$(GO) run ./cmd/benchtable -exp e25,e26,e27 -csv > eadv_wmax.csv
-	cmp eadv_w1.csv eadv_wmax.csv
-	@rm -f eadv_w1.csv eadv_wmax.csv
-	@echo "determinism: E1, E22 and E25-E27 byte-identical at 1 and GOMAXPROCS workers"
+# determinism-matrix checks the engine's bit-reproducibility invariant
+# over the whole (GOMAXPROCS × engine workers) grid in one reusable
+# target, replacing the old per-invariant determinism and
+# checkpoint-determinism snippets. At every cell of
+# GOMAXPROCS ∈ {1,2,4,8} × workers ∈ {1,2,7}:
+#   - the E1 (core sweeps), E22 (mobility schedules — motion, delta
+#     patching and churn measurement) and E25 (adversarial schedules,
+#     adaptive state reads included) tables must be byte-identical to the
+#     first cell's tables (the sweep pool size also varies with
+#     GOMAXPROCS, so pool scheduling is exercised too);
+#   - a session checkpointed mid-run at that cell and resumed under the
+#     *complementary* worker count (8−w: sequential ↔ sharded) must
+#     reproduce the uninterrupted run byte-for-byte — sequential and
+#     parallel engines write interchangeable checkpoints.
+determinism-matrix:
+	$(GO) build -o dmx_benchtable ./cmd/benchtable
+	$(GO) build -o dmx_gossipsim ./cmd/gossipsim
+	@set -e; ref=""; \
+	for gmp in 1 2 4 8; do for w in 1 2 7; do \
+		echo "== GOMAXPROCS=$$gmp engineworkers=$$w"; \
+		GOMAXPROCS=$$gmp ./dmx_benchtable -exp e1,e22,e25 -engineworkers $$w -csv > dmx_cell.csv; \
+		GOMAXPROCS=$$gmp ./dmx_gossipsim -alg sharedbit -graph waypoint -n 2000 -k 8 -tau 1 -seed 5 \
+			-engineworkers $$w -checkpoint dmx.ckpt -checkpointat 40 \
+			| grep -v 'wall time\|checkpoint written' > dmx_full.txt; \
+		GOMAXPROCS=$$gmp ./dmx_gossipsim -resume dmx.ckpt -engineworkers $$((8-$$w)) \
+			| grep -v 'wall time\|resumed from' > dmx_resumed.txt; \
+		cmp dmx_full.txt dmx_resumed.txt; \
+		if [ -z "$$ref" ]; then \
+			ref="gmp$$gmp-w$$w"; cp dmx_cell.csv dmx_ref.csv; cp dmx_full.txt dmx_ref_full.txt; \
+		else \
+			cmp dmx_ref.csv dmx_cell.csv; cmp dmx_ref_full.txt dmx_full.txt; \
+		fi; \
+	done; done; \
+	rm -f dmx_benchtable dmx_gossipsim dmx.ckpt dmx_cell.csv dmx_ref.csv dmx_full.txt dmx_resumed.txt dmx_ref_full.txt; \
+	echo "determinism-matrix: E1/E22/E25 tables and mid-run checkpoints byte-identical across all 12 (GOMAXPROCS, workers) cells"
 
 # examples runs every examples/ scenario in -short mode, exactly as the CI
 # build job does, so example drift breaks the build instead of rotting.
@@ -135,18 +153,5 @@ examples:
 	done
 	@echo "examples: all scenarios ran clean in -short mode"
 
-# checkpoint-determinism checks the session API's resume contract on the
-# E22 workload (random-waypoint mobility under SharedBit): run to
-# completion while snapshotting at round 40, resume the snapshot in a
-# fresh process, and require byte-identical results (wall-clock and
-# checkpoint-administrivia lines stripped).
-checkpoint-determinism:
-	$(GO) run ./cmd/gossipsim -alg sharedbit -graph waypoint -n 2000 -k 8 -tau 1 -seed 5 \
-		-checkpoint e22.ckpt -checkpointat 40 | grep -v 'wall time\|checkpoint written' > ckpt_full.txt
-	$(GO) run ./cmd/gossipsim -resume e22.ckpt | grep -v 'wall time\|resumed from' > ckpt_resumed.txt
-	cmp ckpt_full.txt ckpt_resumed.txt
-	@rm -f e22.ckpt ckpt_full.txt ckpt_resumed.txt
-	@echo "checkpoint-determinism: resumed run byte-identical to uninterrupted run"
-
-ci: build vet fmt lint examples race race-concurrent test cover bench determinism checkpoint-determinism bench-gate
+ci: build vet fmt lint examples race race-concurrent test cover bench determinism-matrix bench-gate
 	$(MAKE) fuzz FUZZTIME=5s

@@ -257,6 +257,45 @@ func BenchmarkEngineRound(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineRoundParallel measures one round of the shard-parallel
+// engine backend at n = 100k across worker counts. Workloads and results
+// are byte-identical at every worker count — only wall-clock differs — so
+// on a multicore runner the w1/w4 ns/op ratio directly shows the round
+// speedup (≥3× expected at 4+ cores; phases are embarrassingly parallel
+// and the deterministic reduction is O(workers)).
+//
+// The rows use fixed worker counts (no GOMAXPROCS row): the goroutine
+// fan-out allocates per shard per phase, so allocs/op is a machine-
+// independent function of the worker count and stays gateable, while a
+// hardware-dependent row would pin the baseline machine's core count into
+// BENCH_core.json. The w1 row rides the sequential path and must stay at
+// 0 allocs/op.
+func BenchmarkEngineRoundParallel(b *testing.B) {
+	const n, k = 100000, 64
+	g := graph.RandomRegular(n, 4, prand.New(7))
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("par_n100000_w%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			st, err := core.NewState(n, core.OneTokenPerNode(n, k), 1e-9)
+			if err != nil {
+				b.Fatal(err)
+			}
+			proto := core.NewSharedBit(st, prand.NewSharedString(99))
+			eng := mtm.NewEngine(dyngraph.NewStatic(g), proto, mtm.Config{
+				Seed: 3, MaxRounds: b.N, Workers: workers,
+			})
+			b.ResetTimer()
+			res, err := eng.Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Rounds < b.N {
+				b.Fatalf("solved after %d of %d rounds: ns/op would be diluted; grow k", res.Rounds, b.N)
+			}
+		})
+	}
+}
+
 // BenchmarkRunSweep measures the parallel sweep engine against its own
 // single-worker (sequential-equivalent) configuration on a Figure-1-style
 // grid. The workloads and results are bit-identical in both runs — only

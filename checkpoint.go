@@ -27,8 +27,12 @@ const (
 	// CheckpointVersion is the checkpoint format version this build writes
 	// and the only version it resumes. Version 2 added the adversary
 	// topology knobs to the config block and generalized the topology
-	// section's mobility flag into a schedule-kind tag.
-	CheckpointVersion = 2
+	// section's mobility flag into a schedule-kind tag; version 3 added the
+	// Topology.Relabel knob. Config.EngineWorkers is deliberately NOT in
+	// the stream: worker count affects wall-clock only, so sequential and
+	// parallel runs write interchangeable, byte-identical checkpoints and a
+	// resumed session re-resolves its own worker count.
+	CheckpointVersion = 3
 )
 
 // Topology-section schedule-kind tags: which dynamic-schedule state (if
@@ -215,6 +219,7 @@ func writeConfig(w *ckpt.Writer, cfg Config) {
 	w.Int(t.AdvBudget)
 	w.Int(t.AdvParts)
 	w.Int(t.AdvPeriod)
+	w.Int(int(t.Relabel))
 	w.Int(cfg.Tau)
 	w.F64(cfg.Epsilon)
 	w.Int(cfg.TagBits)
@@ -260,6 +265,7 @@ func readConfig(r *ckpt.Reader) (Config, error) {
 	t.AdvBudget = r.Int()
 	t.AdvParts = r.Int()
 	t.AdvPeriod = r.Int()
+	t.Relabel = RelabelKind(r.Int())
 	cfg.Tau = r.Int()
 	cfg.Epsilon = r.F64()
 	cfg.TagBits = r.Int()

@@ -19,6 +19,10 @@
 //     0 allocs/op invariant.
 //   - a benchmark present in the baseline but missing from the fresh run
 //     fails the gate (renames must update the baseline deliberately).
+//   - a benchmark present in the fresh run but missing from the baseline
+//     fails the gate too, listing the added rows: new benchmarks enter the
+//     gate by regenerating the baseline (make bench-baseline), never by
+//     slipping past it ungated.
 //
 // The fresh results are always written to -out (when given) in the same
 // BENCH JSON shape, so CI can upload them as a build artifact and a baseline
@@ -134,7 +138,26 @@ func run(args []string) error {
 	for _, row := range fresh {
 		byName[row.Name] = row
 	}
+	baseNames := make(map[string]bool, len(base.Rows))
+	for _, row := range base.Rows {
+		baseNames[row.Name] = true
+	}
 	failures := 0
+	// Fresh rows the baseline has never seen would otherwise pass silently
+	// and run forever ungated; surface them as an explicit diff.
+	var added []string
+	for _, row := range fresh {
+		if !baseNames[row.Name] {
+			added = append(added, row.Name)
+		}
+	}
+	if len(added) > 0 {
+		sort.Strings(added)
+		for _, name := range added {
+			fmt.Printf("FAIL %-28s new benchmark missing from the baseline (regenerate with make bench-baseline)\n", name)
+		}
+		failures += len(added)
+	}
 	for _, want := range base.Rows {
 		got, ok := byName[want.Name]
 		if !ok {

@@ -89,6 +89,8 @@ func run(args []string) error {
 		maxRounds = fs.Int("maxrounds", 0, "abort after this many rounds (0 = engine default)")
 		trace     = fs.Int("trace", 0, "print φ(r) every this many rounds (0 = off, single runs only)")
 		conc      = fs.Bool("concurrent", false, "use the goroutine-per-connection engine backend")
+		engineW   = fs.Int("engineworkers", 0, "shard-parallel engine workers: 0 = auto (GOMAXPROCS, large runs only), 1 = sequential, >=2 exact; results identical at any value")
+		relabelF  = fs.String("relabel", "none", "cache-aware vertex relabeling for generated topologies: "+strings.Join(mobilegossip.RelabelKindNames(), "|"))
 		tagBits   = fs.Int("b", 0, "tag length for -alg sharedbit (>=2 runs the multi-bit generalization)")
 		traceFile = fs.String("tracefile", "", "write per-proposal/per-connection JSONL events to this file (single runs only)")
 		trials    = fs.Int("trials", 1, "repetitions per sweep point (>1 switches to the sweep path)")
@@ -104,7 +106,7 @@ func run(args []string) error {
 	}
 
 	if *resumeF != "" {
-		return runResume(*resumeF, obsOptions{
+		return runResume(*resumeF, *engineW, obsOptions{
 			trace: *trace, traceFile: *traceFile, sample: *sample,
 			ckptFile: *ckptFile, ckptAt: *ckptAt,
 		})
@@ -119,6 +121,10 @@ func run(args []string) error {
 		return err
 	}
 	adv, err := mobilegossip.ParseAdversaryKind(*advName)
+	if err != nil {
+		return err
+	}
+	relabel, err := mobilegossip.ParseRelabelKind(*relabelF)
 	if err != nil {
 		return err
 	}
@@ -142,12 +148,14 @@ func run(args []string) error {
 				Groups: *groups, Attract: *attract, Period: *period,
 				Adversary: adv, AdvBudget: *advBudget,
 				AdvParts: *advParts, AdvPeriod: *advPeriod,
+				Relabel: relabel,
 			},
-			Tau:        *tau,
-			Epsilon:    *epsilon,
-			TagBits:    *tagBits,
-			MaxRounds:  *maxRounds,
-			Concurrent: *conc,
+			Tau:           *tau,
+			Epsilon:       *epsilon,
+			TagBits:       *tagBits,
+			MaxRounds:     *maxRounds,
+			Concurrent:    *conc,
+			EngineWorkers: *engineW,
 		}
 	}
 
@@ -224,7 +232,10 @@ type obsOptions struct {
 }
 
 // runResume revives a checkpointed session and drives it to completion.
-func runResume(path string, opts obsOptions) error {
+// Checkpoints carry no worker count (sequential and parallel runs write
+// interchangeable streams), so the -engineworkers flag applies to the
+// revived session directly.
+func runResume(path string, engineWorkers int, opts obsOptions) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -234,6 +245,7 @@ func runResume(path string, opts obsOptions) error {
 	if err != nil {
 		return err
 	}
+	sim.SetEngineWorkers(engineWorkers)
 	fmt.Printf("resumed from %s at round %d (φ=%d)\n", path, sim.Round(), sim.Potential())
 	return driveSingle(sim, opts)
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"mobilegossip/internal/ckpt"
 	"mobilegossip/internal/eqtest"
@@ -28,7 +29,13 @@ type SimSharedBit struct {
 	st    *State
 	lead  *leader.Protocol
 	space *prand.SeedSpace
-	// strings caches the materialized R′ member per seed index.
+	// strings caches the materialized R′ member per seed index. Tag and
+	// Decide consult it for any node, so under the parallel engine backends
+	// the cache is the one piece of cross-node shared state these phases
+	// touch; mu makes the lazy materialization safe. The cached value for a
+	// seed is a pure function of the seed, so fill order cannot affect
+	// results.
+	mu      sync.Mutex
 	strings map[uint64]*prand.SharedString
 }
 
@@ -92,6 +99,8 @@ func (p *SimSharedBit) RestoreFrom(r *ckpt.Reader) error {
 // stringFor returns the R′ member node u currently believes is shared.
 func (p *SimSharedBit) stringFor(u mtm.NodeID) *prand.SharedString {
 	seed := p.lead.Payload(u)
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	s, ok := p.strings[seed]
 	if !ok {
 		s = p.space.String(seed)

@@ -1,0 +1,98 @@
+package graph
+
+import "sort"
+
+// Vertex orderings and shard partitioning for the cache-aware, shard-parallel
+// engine path. BFSOrder and DegreeOrder produce relabeling permutations (in
+// the perm[old] = new convention Relabel expects) that improve memory
+// locality of the round loop: after a BFS relabeling, the adjacency lists of
+// consecutive vertices point at nearby vertex ids, so the tag/decide scans
+// touch close-together cache lines, and contiguous shard ranges cut far
+// fewer cross-shard edges. BalancedCutsInto partitions the relabeled (or
+// original) vertex range into contiguous shards of near-equal work.
+
+// BFSOrder returns a relabeling permutation (perm[old] = new) that numbers
+// vertices in breadth-first order from vertex 0. Disconnected remainders are
+// swept in ascending id order, each starting a fresh BFS, so the permutation
+// is total and deterministic for any graph.
+func BFSOrder(g *Graph) []int {
+	n := g.N()
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = -1
+	}
+	queue := make([]int32, 0, n)
+	next := 0
+	for root := 0; root < n; root++ {
+		if perm[root] >= 0 {
+			continue
+		}
+		perm[root] = next
+		next++
+		queue = append(queue[:0], int32(root))
+		for head := 0; head < len(queue); head++ {
+			for _, v := range g.Adjacency(int(queue[head])) {
+				if perm[v] < 0 {
+					perm[v] = next
+					next++
+					queue = append(queue, v)
+				}
+			}
+		}
+	}
+	return perm
+}
+
+// DegreeOrder returns a relabeling permutation (perm[old] = new) that
+// numbers vertices by descending degree, ties broken by ascending id. High-
+// degree hubs land in the same low shard instead of scattering expensive
+// adjacency scans across every shard.
+func DegreeOrder(g *Graph) []int {
+	n := g.N()
+	byDeg := make([]int32, n)
+	for u := range byDeg {
+		byDeg[u] = int32(u)
+	}
+	sort.SliceStable(byDeg, func(i, j int) bool {
+		return g.Degree(int(byDeg[i])) > g.Degree(int(byDeg[j]))
+	})
+	perm := make([]int, n)
+	for rank, u := range byDeg {
+		perm[u] = rank
+	}
+	return perm
+}
+
+// BalancedCutsInto partitions the vertex range [0, n) into k contiguous
+// shards [cuts[s], cuts[s+1]) of near-equal estimated round cost, where the
+// cost of vertex v is deg(v) + nodeWeight (nodeWeight models the fixed
+// per-vertex work of the tag/decide/deliver phases relative to one adjacency
+// entry). It appends into cuts (reusing its capacity, so steady-state use
+// allocates nothing) and returns the k+1 boundaries, with cuts[0] = 0 and
+// cuts[k] = n. Shards may be empty when k exceeds the useful parallelism.
+//
+// Because the CSR offsets are nondecreasing, each boundary is found by
+// binary search on the exact prefix cost offsets[v] + nodeWeight·v, making
+// the partition deterministic and O(k log n).
+func (g *Graph) BalancedCutsInto(k int, nodeWeight int32, cuts []int32) []int32 {
+	n := g.N()
+	if k < 1 {
+		k = 1
+	}
+	cuts = append(cuts[:0], 0)
+	total := int64(g.offsets[n]) + int64(nodeWeight)*int64(n)
+	for s := 1; s < k; s++ {
+		target := total * int64(s) / int64(k)
+		lo, hi := int(cuts[s-1]), n
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if int64(g.offsets[mid])+int64(nodeWeight)*int64(mid) < target {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		cuts = append(cuts, int32(lo))
+	}
+	return append(cuts, int32(n))
+}

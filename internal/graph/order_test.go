@@ -1,0 +1,136 @@
+package graph
+
+import (
+	"testing"
+
+	"mobilegossip/internal/prand"
+)
+
+func isPermutation(t *testing.T, perm []int, n int) {
+	t.Helper()
+	if len(perm) != n {
+		t.Fatalf("perm length %d, want %d", len(perm), n)
+	}
+	seen := make([]bool, n)
+	for old, nw := range perm {
+		if nw < 0 || nw >= n || seen[nw] {
+			t.Fatalf("perm[%d] = %d is not a bijection", old, nw)
+		}
+		seen[nw] = true
+	}
+}
+
+func TestBFSOrderIsPermutation(t *testing.T) {
+	for _, g := range []*Graph{
+		Cycle(17), Star(9), Complete(6), Path(1),
+		RandomRegular(200, 4, prand.New(3)),
+	} {
+		perm := BFSOrder(g)
+		isPermutation(t, perm, g.N())
+		// Relabeling by a permutation preserves the degree multiset and
+		// connectivity.
+		rg := g.Relabel(perm, g.Name()+"+bfs")
+		if rg.NumEdges() != g.NumEdges() || rg.Connected() != g.Connected() {
+			t.Fatalf("%s: relabel changed structure", g.Name())
+		}
+	}
+}
+
+func TestBFSOrderHandlesDisconnected(t *testing.T) {
+	// Two triangles, no edge between them.
+	b := NewBuilder(6)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}} {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.Build("twotriangles")
+	perm := BFSOrder(g)
+	isPermutation(t, perm, 6)
+	// First component fills ranks 0..2 before the second starts.
+	for _, u := range []int{0, 1, 2} {
+		if perm[u] > 2 {
+			t.Fatalf("component 0 vertex %d ranked %d", u, perm[u])
+		}
+	}
+}
+
+func TestBFSOrderLocality(t *testing.T) {
+	// On a cycle, BFS numbering from 0 must make most edges short-range:
+	// the relabeled cycle has every edge within distance 2 of its endpoint.
+	g := Cycle(100)
+	rg := g.Relabel(BFSOrder(g), "c+bfs")
+	for u := 0; u < rg.N(); u++ {
+		for _, v := range rg.Adjacency(u) {
+			d := int(v) - u
+			if d < 0 {
+				d = -d
+			}
+			if d > 2 && d < rg.N()-2 {
+				t.Fatalf("edge (%d,%d) spans %d after BFS relabel", u, v, d)
+			}
+		}
+	}
+}
+
+func TestDegreeOrder(t *testing.T) {
+	g := Star(8) // hub 0 degree 7, leaves degree 1
+	perm := DegreeOrder(g)
+	isPermutation(t, perm, 8)
+	if perm[0] != 0 {
+		t.Fatalf("hub ranked %d, want 0", perm[0])
+	}
+	// Leaves keep their relative order (stable ties).
+	for u := 2; u < 8; u++ {
+		if perm[u] != perm[u-1]+1 {
+			t.Fatalf("tie order broken: perm[%d]=%d perm[%d]=%d", u-1, perm[u-1], u, perm[u])
+		}
+	}
+}
+
+func TestBalancedCutsInvariants(t *testing.T) {
+	rng := prand.New(11)
+	graphs := []*Graph{
+		Cycle(31), Star(64), Complete(10),
+		RandomRegular(500, 6, rng), Grid(13, 17),
+	}
+	for _, g := range graphs {
+		n := g.N()
+		var cuts []int32
+		for k := 1; k <= 9; k++ {
+			cuts = g.BalancedCutsInto(k, 8, cuts)
+			if len(cuts) != k+1 || cuts[0] != 0 || cuts[k] != int32(n) {
+				t.Fatalf("%s k=%d: bad boundaries %v", g.Name(), k, cuts)
+			}
+			for s := 0; s < k; s++ {
+				if cuts[s] > cuts[s+1] {
+					t.Fatalf("%s k=%d: cuts not monotone %v", g.Name(), k, cuts)
+				}
+			}
+		}
+	}
+}
+
+func TestBalancedCutsBalance(t *testing.T) {
+	// On a regular graph every vertex costs the same, so an 8-way cut must
+	// split the range into near-equal eighths.
+	g := RandomRegular(8000, 4, prand.New(5))
+	cuts := g.BalancedCutsInto(8, 8, nil)
+	for s := 0; s < 8; s++ {
+		size := int(cuts[s+1] - cuts[s])
+		if size < 990 || size > 1010 {
+			t.Fatalf("shard %d has %d vertices, want ~1000 (cuts %v)", s, size, cuts)
+		}
+	}
+}
+
+func TestBalancedCutsReuseNoAlloc(t *testing.T) {
+	g := RandomRegular(4000, 4, prand.New(9))
+	cuts := g.BalancedCutsInto(8, 8, nil)
+	allocs := testing.AllocsPerRun(100, func() {
+		cuts = g.BalancedCutsInto(8, 8, cuts)
+	})
+	if allocs != 0 {
+		t.Fatalf("BalancedCutsInto allocated %.1f/op with a warm buffer", allocs)
+	}
+}

@@ -11,10 +11,10 @@
 // The Engine enforces every model constraint: one proposal per node,
 // proposer-cannot-receive, uniform acceptance, matching-only connections,
 // per-connection communication budgets, and the τ-stability of the topology
-// schedule. Two interchangeable backends (sequential, and concurrent
-// goroutine-per-connection) produce bit-identical executions because all
-// randomness is drawn from per-node streams and per-round connections are
-// vertex-disjoint.
+// schedule. Three interchangeable backends (sequential, concurrent
+// goroutine-per-connection, and shard-parallel — see shard.go) produce
+// bit-identical executions because all randomness is drawn from per-node
+// streams and per-round connections are vertex-disjoint.
 package mtm
 
 import (
@@ -135,6 +135,15 @@ type Config struct {
 	MaxRounds int
 	// Concurrent selects the goroutine-per-connection backend.
 	Concurrent bool
+	// Workers selects the shard-parallel backend: the node range is split
+	// into Workers contiguous degree-balanced shards and every round phase
+	// (tag, decide, deliver, accept, exchange) runs shard-parallel with a
+	// deterministic cross-shard reduction, producing executions
+	// byte-identical to the sequential engine at any worker count or
+	// GOMAXPROCS (see DESIGN.md §11). Workers ≤ 1 keeps the sequential
+	// round loop (and its 0 allocs/op steady state); Workers ≥ 2
+	// supersedes Concurrent.
+	Workers int
 	// BitLimit overrides the per-connection control-bit budget
 	// (default 64·(⌈log₂ N⌉+1)³, a generous polylog(N)).
 	BitLimit int
@@ -213,7 +222,16 @@ type Engine struct {
 	pairs   [][2]int32
 	conns   []Conn
 	view    []Neighbor   // sequential-backend scan view
-	views   [][]Neighbor // concurrent-backend per-worker scan views
+	views   [][]Neighbor // concurrent/sharded per-worker scan views
+
+	// Sharded-backend state (see shard.go).
+	workers    int          // resolved shard count (1 = sequential)
+	cuts       []int32      // per-round shard boundaries (len shards+1)
+	testCuts   []int32      // test hook: fixed boundaries override cuts
+	shardPairs [][][2]int32 // per-shard accepted pairs, merged in shard order
+	shardProps []int64      // per-shard proposal counts
+	shardBase  []int32      // per-shard inbox base offsets (len shards+1)
+	shardErrs  []error      // per-shard first tag-width violation
 }
 
 // ErrBudgetExceeded is returned when any connection exceeded its
@@ -252,6 +270,10 @@ func NewEngine(dyn dyngraph.Dynamic, proto Protocol, cfg Config) *Engine {
 		conns:   make([]Conn, 0, n/2+1),
 		view:    make([]Neighbor, 0, 64),
 	}
+	e.workers = cfg.Workers
+	if e.workers < 1 {
+		e.workers = 1
+	}
 	for u := 0; u < n; u++ {
 		e.rngs[u] = prand.New(prand.Mix64(cfg.Seed ^ (uint64(u)+1)*0xd6e8feb86659fd93))
 	}
@@ -278,6 +300,21 @@ func (e *Engine) NodeRNG(u NodeID) *prand.RNG { return e.rngs[u] }
 // a trace.Wrap of it); it exists so observers that tap the protocol layer
 // can be attached to an already-constructed engine at a round boundary.
 func (e *Engine) SetProtocol(p Protocol) { e.proto = p }
+
+// SetWorkers retunes the shard-parallel backend at a round boundary
+// (w ≤ 1 selects the sequential path). Worker count affects wall-clock
+// only, never results, so it is valid to change mid-run or after a
+// restore: checkpoints do not record it, and sequential and parallel
+// engines produce interchangeable, byte-identical checkpoints.
+func (e *Engine) SetWorkers(w int) {
+	if w < 1 {
+		w = 1
+	}
+	e.workers = w
+}
+
+// Workers returns the resolved shard-worker count (≥ 1).
+func (e *Engine) Workers() int { return e.workers }
 
 // start runs the one-time pre-round-1 protocol check (an already-Done
 // protocol completes the run in zero rounds, as the closed loop did).
@@ -341,20 +378,34 @@ func (e *Engine) Step() (RoundStats, error) {
 		e.res.EdgesRemoved += int64(stats.EdgesRemoved)
 	}
 
+	// The sharded backend partitions [0, n) into contiguous shards and runs
+	// every phase below shard-parallel, byte-identical to this sequential
+	// path (cuts == nil selects the sequential round loop).
+	cuts := e.roundCuts(g, n)
+
 	// Advertise: every node picks its b-bit tag.
-	for u := 0; u < n; u++ {
-		tags[u] = e.proto.Tag(r, u)
-		if tags[u]&^e.tagMask != 0 {
-			e.failed = fmt.Errorf("%w: node %d round %d tag %#x with b=%d",
-				ErrTagTooWide, u, r, tags[u], e.proto.TagBits())
-			return stats, e.failed
+	if cuts != nil {
+		if err := e.tagSharded(r, cuts); err != nil {
+			return stats, err
+		}
+	} else {
+		for u := 0; u < n; u++ {
+			tags[u] = e.proto.Tag(r, u)
+			if tags[u]&^e.tagMask != 0 {
+				e.failed = fmt.Errorf("%w: node %d round %d tag %#x with b=%d",
+					ErrTagTooWide, u, r, tags[u], e.proto.TagBits())
+				return stats, e.failed
+			}
 		}
 	}
 
 	// Scan + decide.
-	if e.cfg.Concurrent {
+	switch {
+	case cuts != nil:
+		e.decideSharded(r, g, tags, acts, cuts)
+	case e.cfg.Concurrent:
 		e.decideConcurrent(r, g, tags, acts)
-	} else {
+	default:
 		view := e.view
 		for u := 0; u < n; u++ {
 			view = view[:0]
@@ -366,53 +417,60 @@ func (e *Engine) Step() (RoundStats, error) {
 		e.view = view[:0] // keep any growth for the next round
 	}
 
-	// Deliver proposals into the flat inbox: a proposer cannot receive,
-	// and proposals to proposers are lost (the target is busy sending).
-	// Pass 1 validates each proposal and counts per-target arrivals;
-	// pass 2 prefix-sums the counts into offsets and groups the
-	// proposers by target — in ascending proposer order, exactly the
-	// arrival order of the old per-target append lists.
-	for u := 0; u < n; u++ {
-		e.inCnt[u] = 0
-		e.targets[u] = -1
-	}
-	for u := 0; u < n; u++ {
-		if !acts[u].Propose {
-			continue
+	// Deliver proposals into the flat inbox, then accept: each listener
+	// with proposals picks one uniformly with its own randomness, so
+	// connections form a matching.
+	var pairs [][2]int32
+	if cuts != nil {
+		e.deliverSharded(g, acts, cuts, &stats)
+		pairs = e.acceptSharded(cuts)
+	} else {
+		// A proposer cannot receive, and proposals to proposers are lost
+		// (the target is busy sending). Pass 1 validates each proposal and
+		// counts per-target arrivals; pass 2 prefix-sums the counts into
+		// offsets and groups the proposers by target — in ascending
+		// proposer order, exactly the arrival order of the old per-target
+		// append lists.
+		for u := 0; u < n; u++ {
+			e.inCnt[u] = 0
+			e.targets[u] = -1
 		}
-		stats.Proposals++
-		t := acts[u].Target
-		if t < 0 || t >= n || t == u || !g.HasEdge(u, t) {
-			continue // malformed proposal is simply lost
-		}
-		if acts[t].Propose {
-			continue // target is itself proposing; cannot receive
-		}
-		e.targets[u] = int32(t)
-		e.inCnt[t]++
-	}
-	e.inOff[0] = 0
-	for v := 0; v < n; v++ {
-		e.inOff[v+1] = e.inOff[v] + e.inCnt[v]
-		e.inCnt[v] = 0 // reused as the fill cursor below
-	}
-	for u := 0; u < n; u++ {
-		if t := e.targets[u]; t >= 0 {
-			e.inbox[e.inOff[t]+e.inCnt[t]] = int32(u)
+		for u := 0; u < n; u++ {
+			if !acts[u].Propose {
+				continue
+			}
+			stats.Proposals++
+			t := acts[u].Target
+			if t < 0 || t >= n || t == u || !g.HasEdge(u, t) {
+				continue // malformed proposal is simply lost
+			}
+			if acts[t].Propose {
+				continue // target is itself proposing; cannot receive
+			}
+			e.targets[u] = int32(t)
 			e.inCnt[t]++
 		}
-	}
-
-	// Accept: each listener with proposals picks one uniformly with its
-	// own randomness; connections therefore form a matching.
-	pairs := e.pairs[:0]
-	for v := 0; v < n; v++ {
-		in := e.inbox[e.inOff[v]:e.inOff[v+1]]
-		if len(in) == 0 {
-			continue
+		e.inOff[0] = 0
+		for v := 0; v < n; v++ {
+			e.inOff[v+1] = e.inOff[v] + e.inCnt[v]
+			e.inCnt[v] = 0 // reused as the fill cursor below
 		}
-		u := in[e.rngs[v].Intn(len(in))]
-		pairs = append(pairs, [2]int32{u, int32(v)})
+		for u := 0; u < n; u++ {
+			if t := e.targets[u]; t >= 0 {
+				e.inbox[e.inOff[t]+e.inCnt[t]] = int32(u)
+				e.inCnt[t]++
+			}
+		}
+
+		pairs = e.pairs[:0]
+		for v := 0; v < n; v++ {
+			in := e.inbox[e.inOff[v]:e.inOff[v+1]]
+			if len(in) == 0 {
+				continue
+			}
+			u := in[e.rngs[v].Intn(len(in))]
+			pairs = append(pairs, [2]int32{u, int32(v)})
+		}
 	}
 	e.pairs = pairs[:0] // keep any growth for the next round
 
@@ -428,9 +486,12 @@ func (e *Engine) Step() (RoundStats, error) {
 		})
 	}
 	e.conns = conns[:0] // keep any growth for the next round
-	if e.cfg.Concurrent {
+	switch {
+	case cuts != nil:
+		e.exchangeSharded(r, conns, len(cuts)-1)
+	case e.cfg.Concurrent:
 		e.exchangeConcurrent(r, conns)
-	} else {
+	default:
 		for i := range conns {
 			e.proto.Exchange(r, &conns[i])
 		}

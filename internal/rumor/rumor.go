@@ -9,6 +9,8 @@
 package rumor
 
 import (
+	"sync/atomic"
+
 	"mobilegossip/internal/mtm"
 	"mobilegossip/internal/prand"
 )
@@ -16,7 +18,12 @@ import (
 // Protocol is a standalone PPUSH instance over one rumor.
 type Protocol struct {
 	informed []bool
-	left     int // uninformed count
+	// left counts uninformed nodes. Exchange decrements it atomically: the
+	// round's connections form a matching, so the informed[] writes are
+	// endpoint-disjoint, but the counter is the one piece of state every
+	// exchange shares under the parallel engine backends. The decrement is
+	// commutative, so the count — and Done — stay deterministic.
+	left atomic.Int64
 }
 
 var _ mtm.Protocol = (*Protocol)(nil)
@@ -25,11 +32,12 @@ var _ mtm.Protocol = (*Protocol)(nil)
 // sources start informed (duplicates and out-of-range entries are ignored).
 // The rumor is opaque; each spread is metered as one token.
 func New(n int, sources []int) *Protocol {
-	p := &Protocol{informed: make([]bool, n), left: n}
+	p := &Protocol{informed: make([]bool, n)}
+	p.left.Store(int64(n))
 	for _, s := range sources {
 		if s >= 0 && s < n && !p.informed[s] {
 			p.informed[s] = true
-			p.left--
+			p.left.Add(-1)
 		}
 	}
 	return p
@@ -39,7 +47,7 @@ func New(n int, sources []int) *Protocol {
 func (p *Protocol) Informed(u int) bool { return p.informed[u] }
 
 // InformedCount returns the number of informed nodes.
-func (p *Protocol) InformedCount() int { return len(p.informed) - p.left }
+func (p *Protocol) InformedCount() int { return len(p.informed) - int(p.left.Load()) }
 
 // TagBits implements mtm.Protocol: PPUSH needs b = 1.
 func (p *Protocol) TagBits() int { return 1 }
@@ -92,9 +100,9 @@ func (p *Protocol) Exchange(_ int, c *mtm.Conn) {
 	c.ChargeBits(1)
 	if p.informed[c.Initiator] && !p.informed[c.Responder] {
 		p.informed[c.Responder] = true
-		p.left--
+		p.left.Add(-1)
 	}
 }
 
 // Done implements mtm.Protocol.
-func (p *Protocol) Done() bool { return p.left == 0 }
+func (p *Protocol) Done() bool { return p.left.Load() == 0 }

@@ -130,6 +130,23 @@ type Config struct {
 	MaxRounds int
 	// Concurrent selects the goroutine-per-connection engine backend.
 	Concurrent bool
+	// EngineWorkers selects the deterministic shard-parallel round engine:
+	// the node range is split into EngineWorkers contiguous, degree-balanced
+	// shards and every round phase runs shard-parallel, byte-identical to
+	// the sequential engine at any worker count or GOMAXPROCS (DESIGN.md
+	// §11).
+	//
+	//	0  — auto: GOMAXPROCS, capped so every shard keeps ≥ ~2048 nodes
+	//	     (small runs stay on the sequential 0 allocs/op path);
+	//	1  — force the sequential engine;
+	//	≥2 — exactly that many shard workers (capped at N).
+	//
+	// Worker count changes wall-clock only, never results, and is therefore
+	// not part of the checkpoint: sequential and parallel runs write
+	// interchangeable, byte-identical checkpoints, and a resumed session
+	// re-resolves its own worker count (override with SetEngineWorkers).
+	// When ≥ 2 it supersedes Concurrent.
+	EngineWorkers int
 	// TransferEps is the per-call Transfer(ε) failure bound
 	// (default n^{-3}).
 	TransferEps float64

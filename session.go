@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 
 	"mobilegossip/internal/adversary"
 	"mobilegossip/internal/core"
@@ -131,6 +132,7 @@ func New(cfg Config) (*Simulation, error) {
 		Seed:       prand.Mix64(cfg.Seed ^ 0x51afd7ed558ccd6d),
 		MaxRounds:  cfg.MaxRounds,
 		Concurrent: cfg.Concurrent,
+		Workers:    resolveEngineWorkers(cfg.EngineWorkers, cfg.N),
 	})
 
 	if cfg.OnRound != nil {
@@ -145,11 +147,51 @@ func New(cfg Config) (*Simulation, error) {
 	return s, nil
 }
 
+// autoShardMinNodes is the shard size below which splitting a run stops
+// paying: auto worker resolution caps the count so every shard keeps at
+// least this many nodes (and n below it stays on the sequential path).
+const autoShardMinNodes = 2048
+
+// resolveEngineWorkers maps the Config.EngineWorkers knob to an exact
+// mtm worker count: 0 = auto (GOMAXPROCS, shard-size capped), otherwise the
+// requested count capped at n.
+func resolveEngineWorkers(w, n int) int {
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+		if byN := n / autoShardMinNodes; byN < w {
+			w = byN
+		}
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// SetEngineWorkers retunes the shard-parallel engine at a round boundary
+// (same knob as Config.EngineWorkers: 0 = auto, 1 = sequential, ≥2 exact).
+// Worker count changes wall-clock only, never results, so it is valid
+// mid-run and on resumed sessions — checkpoints do not record it.
+func (s *Simulation) SetEngineWorkers(w int) {
+	s.cfg.EngineWorkers = w
+	s.eng.SetWorkers(resolveEngineWorkers(w, s.cfg.N))
+}
+
 // Observe attaches observers to the session. Observers attached before the
 // first Step see the whole run; observers attached mid-run see the rounds
 // from their attachment on (their BeginRun is skipped once the run has
 // begun). Observers that tap the protocol layer (TraceObserver) take
 // effect from the next round.
+//
+// Protocol-tapping observers record events from inside the engine's round
+// phases, so under a parallel engine their per-round event order follows
+// goroutine scheduling. Attaching one therefore drops an auto-resolved
+// (EngineWorkers = 0) session back to the sequential engine, keeping trace
+// streams byte-stable; an explicit EngineWorkers ≥ 2 is honored, with
+// order-insensitive trace comparison left to the caller.
 func (s *Simulation) Observe(obs ...Observer) {
 	for _, o := range obs {
 		if o == nil {
@@ -158,6 +200,9 @@ func (s *Simulation) Observe(obs ...Observer) {
 		if pw, ok := o.(protocolWrapper); ok {
 			s.proto = pw.wrapProtocol(s.proto)
 			s.eng.SetProtocol(s.proto)
+			if s.cfg.EngineWorkers == 0 {
+				s.eng.SetWorkers(1)
+			}
 		}
 		s.observers = append(s.observers, o)
 	}
