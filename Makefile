@@ -13,7 +13,7 @@ FUZZTIME ?= 10s
 # make a PR pass.
 COVER_MIN ?= 85.0
 
-.PHONY: all build vet fmt lint test race race-concurrent cover fuzz bench bench-core bench-gate bench-baseline determinism-matrix examples ci
+.PHONY: all build vet fmt lint test race race-concurrent cover fuzz bench bench-core bench-gate bench-baseline determinism-matrix examples docs docs-verify ci
 
 all: build
 
@@ -53,8 +53,8 @@ race:
 # driven through them, and the observer/trace layers that tap them —
 # un-shortened under the race detector.
 race-concurrent:
-	$(GO) test -race -count=1 -run 'Concurrent|Backends|Sharded|EngineWorkers' \
-		. ./internal/mtm ./internal/adversary ./internal/trace ./internal/leader
+	$(GO) test -race -count=1 -run 'Concurrent|Backends|Sharded|EngineWorkers|Bus|Sink|Collector' \
+		. ./internal/mtm ./internal/adversary ./internal/trace ./internal/leader ./internal/events
 
 # cover enforces the ratcheted coverage floor (COVER_MIN, measured at merge
 # time) over the library surface — the root package and internal/... (cmd/
@@ -144,6 +144,15 @@ determinism-matrix:
 	rm -f dmx_benchtable dmx_gossipsim dmx.ckpt dmx_cell.csv dmx_ref.csv dmx_full.txt dmx_resumed.txt dmx_ref_full.txt; \
 	echo "determinism-matrix: E1/E22/E25 tables and mid-run checkpoints byte-identical across all 12 (GOMAXPROCS, workers) cells"
 
+# docs regenerates docs/cli.md from the CLIs' live -h output; docs-verify
+# (run by the CI build job) fails when the committed reference has drifted
+# from the flag definitions — add a flag, run `make docs`, commit both.
+docs:
+	$(GO) run ./cmd/clidoc -out docs/cli.md
+
+docs-verify:
+	$(GO) run ./cmd/clidoc -check docs/cli.md
+
 # examples runs every examples/ scenario in -short mode, exactly as the CI
 # build job does, so example drift breaks the build instead of rotting.
 examples:
@@ -153,5 +162,5 @@ examples:
 	done
 	@echo "examples: all scenarios ran clean in -short mode"
 
-ci: build vet fmt lint examples race race-concurrent test cover bench determinism-matrix bench-gate
+ci: build vet fmt lint docs-verify examples race race-concurrent test cover bench determinism-matrix bench-gate
 	$(MAKE) fuzz FUZZTIME=5s

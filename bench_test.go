@@ -219,6 +219,18 @@ func BenchmarkPPUSH(b *testing.B) {
 // between baseline and fresh runs, and refresh the baseline with
 // `make bench-baseline` after intentional performance changes. The
 // sequential backend must report 0 allocs/op in steady state.
+//
+// The sess_* rows step the same workload through the public session API
+// (Simulation.Step, which also publishes on the event bus and samples φ
+// every round) and enforce the bus's zero-alloc contract from both sides:
+// sess_n10000_k64 has no subscriber — Publish must be a single atomic
+// load, 0 allocs/op — and sess_bus_n10000_k64 keeps an async subscriber
+// attached whose queue is never drained, so every round exercises the
+// full publish + filter + bounded-queue path (value-copy sends and
+// select-default drops) and must still report 0 allocs/op. EngineWorkers
+// is pinned to 1: the rows gate bus overhead against the sequential
+// engine baseline, not shard fan-out (which allocates per shard per
+// phase; see BenchmarkEngineRoundParallel).
 func BenchmarkEngineRound(b *testing.B) {
 	cases := []struct {
 		name string
@@ -252,6 +264,40 @@ func BenchmarkEngineRound(b *testing.B) {
 			}
 			if res.Rounds < b.N {
 				b.Fatalf("solved after %d of %d rounds: ns/op would be diluted; grow k", res.Rounds, b.N)
+			}
+		})
+	}
+	for _, withBus := range []bool{false, true} {
+		name := "sess_n2048_k1024"
+		if withBus {
+			name = "sess_bus_n2048_k1024"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			// k = n/2: at most n/2 connections move one token each per round
+			// and n·k (node, token) pairs must be learned, so no seed can
+			// solve in under 2k = 2048 rounds — every op inside a 500x window
+			// is a real round at any seed (still guarded below).
+			sim, err := mobilegossip.New(mobilegossip.Config{
+				Algorithm: mobilegossip.AlgSharedBit, N: 2048, K: 1024,
+				Topology: mobilegossip.Topology{Kind: mobilegossip.RandomRegular, Degree: 4},
+				Seed:     3, MaxRounds: b.N, EngineWorkers: 1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if withBus {
+				sub := sim.Bus().Subscribe(mobilegossip.EventFilter{}, 64)
+				defer sub.Close()
+			}
+			b.ResetTimer()
+			for !sim.Done() {
+				if _, err := sim.Step(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if sim.Round() < b.N {
+				b.Fatalf("solved after %d of %d rounds: ns/op would be diluted; grow k", sim.Round(), b.N)
 			}
 		})
 	}

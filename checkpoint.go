@@ -9,6 +9,7 @@ import (
 	"mobilegossip/internal/ckpt"
 	"mobilegossip/internal/core"
 	"mobilegossip/internal/dyngraph"
+	"mobilegossip/internal/events"
 	"mobilegossip/internal/mobility"
 )
 
@@ -114,7 +115,13 @@ func (s *Simulation) Checkpoint(w io.Writer) error {
 	if cp != nil {
 		cp.CheckpointTo(cw)
 	}
-	return cw.Flush()
+	if err := cw.Flush(); err != nil {
+		return err
+	}
+	s.bus.Publish(events.Event{
+		Type: events.TypeCheckpointWritten, Round: s.eng.Round(), Potential: s.st.Potential(),
+	})
+	return nil
 }
 
 // Resume deserializes a Checkpoint stream into a live simulation
@@ -183,7 +190,13 @@ func Resume(r io.Reader) (*Simulation, error) {
 			return nil, err
 		}
 	}
-	return sim, cr.Err()
+	if err := cr.Err(); err != nil {
+		return nil, err
+	}
+	// Announced on the bus (after session_start) at the first Step, when
+	// the revived session's subscribers are attached.
+	sim.resumed = true
+	return sim, nil
 }
 
 // writeConfig serializes the data fields of a Config (the function-valued

@@ -32,6 +32,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -77,6 +78,9 @@ func run(args []string) error {
 		benchtime = fs.String("benchtime", "", "benchtime tag recorded in the output document")
 	)
 	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // usage already printed by the FlagSet
+		}
 		return err
 	}
 

@@ -21,6 +21,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -64,6 +65,9 @@ func run(args []string) error {
 		progress = fs.Bool("progress", false, "report sweep progress to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // usage already printed by the FlagSet
+		}
 		return err
 	}
 

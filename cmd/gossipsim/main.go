@@ -40,12 +40,24 @@
 // The -trace flag prints the potential φ(r) every -trace rounds; -sample
 // records the φ(r) curve through a PotentialSampler observer and prints it
 // after the run (both single runs only).
+//
+// Structured observability (DESIGN.md §12, single runs only): -events
+// streams the session's typed event log — rounds, churn, adversary
+// epochs, checkpoints, session lifecycle — as JSONL, and -metrics serves
+// a Prometheus-style scrape endpoint for the run's duration:
+//
+//	gossipsim -alg sharedbit -graph waypoint -n 5000 -k 8 -tau 1 \
+//	    -events events.jsonl -metrics :9090
+//	curl -s localhost:9090/metrics    # while the run lasts
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -100,8 +112,13 @@ func run(args []string) error {
 		ckptAt    = fs.Int("checkpointat", 0, "round at which -checkpoint snapshots the run (0 = when the run finishes)")
 		resumeF   = fs.String("resume", "", "resume from this checkpoint file; the simulation flags come from the checkpoint")
 		sample    = fs.Int("sample", 0, "record φ(r) every this many rounds and print the curve after the run (single runs only)")
+		eventsF   = fs.String("events", "", "write session events (round/churn/checkpoint/session, DESIGN.md §12) as JSONL to this file (single runs only)")
+		metricsF  = fs.String("metrics", "", "serve a Prometheus-style /metrics endpoint on this address, e.g. :9090, for the run's duration (single runs only)")
 	)
 	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // usage already printed by the FlagSet
+		}
 		return err
 	}
 
@@ -109,6 +126,7 @@ func run(args []string) error {
 		return runResume(*resumeF, *engineW, obsOptions{
 			trace: *trace, traceFile: *traceFile, sample: *sample,
 			ckptFile: *ckptFile, ckptAt: *ckptAt,
+			events: *eventsF, metrics: *metricsF,
 		})
 	}
 
@@ -160,8 +178,8 @@ func run(args []string) error {
 	}
 
 	if len(ns) > 1 || len(ks) > 1 || *trials > 1 || *asJSON {
-		if *trace > 0 || *traceFile != "" || *sample > 0 || *ckptFile != "" {
-			return fmt.Errorf("-trace, -tracefile, -sample and -checkpoint apply to single runs only, not sweeps")
+		if *trace > 0 || *traceFile != "" || *sample > 0 || *ckptFile != "" || *eventsF != "" || *metricsF != "" {
+			return fmt.Errorf("-trace, -tracefile, -sample, -checkpoint, -events and -metrics apply to single runs only, not sweeps")
 		}
 		var points []mobilegossip.Config
 		for _, n := range ns {
@@ -180,6 +198,7 @@ func run(args []string) error {
 	return driveSingle(sim, obsOptions{
 		trace: *trace, traceFile: *traceFile, sample: *sample,
 		ckptFile: *ckptFile, ckptAt: *ckptAt,
+		events: *eventsF, metrics: *metricsF,
 	})
 }
 
@@ -229,6 +248,8 @@ type obsOptions struct {
 	sample    int
 	ckptFile  string
 	ckptAt    int
+	events    string // -events: JSONL event-sink file
+	metrics   string // -metrics: /metrics listen address
 }
 
 // runResume revives a checkpointed session and drives it to completion.
@@ -273,6 +294,29 @@ func driveSingle(sim *mobilegossip.Simulation, opts obsOptions) error {
 		sampler = mobilegossip.NewPotentialSampler(opts.sample)
 		sim.Observe(sampler)
 	}
+	var sink *mobilegossip.EventJSONLSink
+	if opts.events != "" {
+		f, err := os.Create(opts.events)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sink = mobilegossip.NewJSONLSink(sim.Bus(), f, mobilegossip.EventFilter{}, 0)
+	}
+	if opts.metrics != "" {
+		col := mobilegossip.NewMetricsCollector()
+		col.Attach(sim.Bus())
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", col)
+		ln, err := net.Listen("tcp", opts.metrics)
+		if err != nil {
+			return err
+		}
+		srv := &http.Server{Handler: mux}
+		go srv.Serve(ln) //nolint:errcheck // closed deliberately below
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "serving /metrics on http://%s/metrics\n", ln.Addr())
+	}
 
 	start := time.Now()
 	if opts.ckptFile != "" && opts.ckptAt > 0 {
@@ -290,6 +334,17 @@ func driveSingle(sim *mobilegossip.Simulation, opts obsOptions) error {
 		// A failed trace stream must fail the command (as the legacy
 		// TraceWriter path did), not ship a truncated JSONL with exit 0.
 		err = tracer.Err()
+	}
+	if sink != nil {
+		// Drain and flush whether or not the run failed; a dead event
+		// stream fails the command like a dead trace stream does.
+		cerr := sink.Close()
+		if err == nil {
+			err = cerr
+		}
+		if d := sink.Dropped(); d > 0 {
+			fmt.Fprintf(os.Stderr, "events: %d events dropped (writer slower than the simulation; see DESIGN.md §12)\n", d)
+		}
 	}
 	if err != nil {
 		return err

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -30,6 +31,9 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("traceview", flag.ContinueOnError)
 	every := fs.Int("every", 1, "print every Nth round (totals always cover the whole trace)")
 	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // usage already printed by the FlagSet
+		}
 		return err
 	}
 	if fs.NArg() != 1 {

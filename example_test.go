@@ -1,6 +1,7 @@
 package mobilegossip_test
 
 import (
+	"context"
 	"fmt"
 
 	"mobilegossip"
@@ -62,6 +63,46 @@ func ExampleTopology_Inspect() {
 		info.MaxDegree, info.Diameter, info.Alpha, info.AlphaExact)
 	// Output:
 	// Δ=8 D=3 α=0.1250 exact=true
+}
+
+// Every session publishes its lifecycle on a typed event bus. Attach a
+// ring sink (or a JSONL sink, a metrics collector, or a raw filtered
+// subscription) before running, then query what happened — here, how
+// the potential φ fell over the first rounds and how the run ended.
+func ExampleSimulation_Bus() {
+	sim, err := mobilegossip.New(mobilegossip.Config{
+		Algorithm: mobilegossip.AlgSharedBit,
+		N:         32,
+		K:         4,
+		Topology:  mobilegossip.Topology{Kind: mobilegossip.RandomRegular, Degree: 4},
+		Tau:       1,
+		Seed:      1,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	ring := mobilegossip.NewEventRing(1024)
+	ring.Attach(sim.Bus(), mobilegossip.EventFilter{})
+	if _, err := sim.Run(context.Background()); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+
+	for _, ev := range ring.Events(mobilegossip.EventFilter{
+		Types:    []mobilegossip.EventType{mobilegossip.EventRoundCompleted},
+		MaxRound: 2,
+	}) {
+		fmt.Printf("round %d: φ=%d\n", ev.Round, ev.Potential)
+	}
+	end := ring.Events(mobilegossip.EventFilter{
+		Types: []mobilegossip.EventType{mobilegossip.EventSessionEnd},
+	})[0]
+	fmt.Println(end.Type, end.Solved)
+	// Output:
+	// round 1: φ=122
+	// round 2: φ=120
+	// session_end true
 }
 
 // ParseAlgorithm resolves the names printed by Algorithm.String, which is

@@ -142,6 +142,11 @@ func New(base dyngraph.Dynamic, strat Strategy, o Options) *Engine {
 // before the first round query; the simulation session layer does.
 func (e *Engine) Bind(r StateReader) { e.reader = r }
 
+// Epoch returns the perturbation epoch the engine currently sits in, or
+// -1 before the lazily computed first epoch. The session layer polls it
+// after every round to publish adversary-epoch events.
+func (e *Engine) Epoch() int { return e.epoch }
+
 // reset returns the engine to its pre-round-1 state: fresh RNG, fixed
 // permutation rebuilt from the seed, no epoch computed.
 func (e *Engine) reset() {

@@ -1,0 +1,223 @@
+package events
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestFilterMatch(t *testing.T) {
+	cases := []struct {
+		name string
+		f    Filter
+		ev   Event
+		want bool
+	}{
+		{"zero filter matches anything",
+			Filter{}, Event{Type: TypeRoundCompleted, Round: 7}, true},
+		{"type allow-list hit",
+			Filter{Types: []Type{TypeChurnApplied, TypeRoundCompleted}},
+			Event{Type: TypeRoundCompleted}, true},
+		{"type allow-list miss",
+			Filter{Types: []Type{TypeChurnApplied}},
+			Event{Type: TypeRoundCompleted}, false},
+		{"min round inclusive",
+			Filter{MinRound: 5}, Event{Type: TypeRoundCompleted, Round: 5}, true},
+		{"below min round",
+			Filter{MinRound: 5}, Event{Type: TypeRoundCompleted, Round: 4}, false},
+		{"max round inclusive",
+			Filter{MaxRound: 5}, Event{Type: TypeRoundCompleted, Round: 5}, true},
+		{"above max round",
+			Filter{MaxRound: 5}, Event{Type: TypeRoundCompleted, Round: 6}, false},
+		{"window and type both hold",
+			Filter{Types: []Type{TypeSessionEnd}, MinRound: 2, MaxRound: 9},
+			Event{Type: TypeSessionEnd, Round: 3}, true},
+		{"window holds but type misses",
+			Filter{Types: []Type{TypeSessionEnd}, MinRound: 2, MaxRound: 9},
+			Event{Type: TypeRoundCompleted, Round: 3}, false},
+		{"zero bounds leave round 0 events visible",
+			Filter{Types: []Type{TypeSessionStart}}, Event{Type: TypeSessionStart}, true},
+	}
+	for _, tc := range cases {
+		if got := tc.f.Match(tc.ev); got != tc.want {
+			t.Errorf("%s: Match = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestFilterMatchAllocs(t *testing.T) {
+	f := Filter{Types: []Type{TypeRoundCompleted}, MinRound: 1, MaxRound: 1 << 30}
+	ev := Event{Type: TypeRoundCompleted, Round: 42}
+	if n := testing.AllocsPerRun(100, func() { f.Match(ev) }); n != 0 {
+		t.Fatalf("Filter.Match allocated %.1f times per call", n)
+	}
+}
+
+func TestTypeNamesRoundTrip(t *testing.T) {
+	types := Types()
+	if len(types) != 8 {
+		t.Fatalf("Types() = %d types, want 8", len(types))
+	}
+	for _, ty := range types {
+		name := ty.String()
+		if strings.Contains(name, "Type(") {
+			t.Fatalf("type %d has no wire name", ty)
+		}
+		back, err := ParseType(name)
+		if err != nil || back != ty {
+			t.Fatalf("ParseType(%q) = %v, %v; want %v", name, back, err, ty)
+		}
+	}
+	if _, err := ParseType("no_such_event"); err == nil {
+		t.Fatal("ParseType accepted an unknown name")
+	}
+	if got := Type(0).String(); got != "Type(0)" {
+		t.Fatalf("Type(0).String() = %q", got)
+	}
+}
+
+func TestBusPublishSubscribe(t *testing.T) {
+	b := NewBus()
+	sub := b.Subscribe(Filter{Types: []Type{TypeRoundCompleted}}, 8)
+	defer sub.Close()
+
+	b.Publish(Event{Type: TypeSessionStart, N: 10})
+	b.Publish(Event{Type: TypeRoundCompleted, Round: 1, Potential: 9})
+	b.Publish(Event{Type: TypeChurnApplied, Round: 2})
+	b.Publish(Event{Type: TypeRoundCompleted, Round: 2, Potential: 7})
+
+	got := []Event{<-sub.Events(), <-sub.Events()}
+	if got[0].Round != 1 || got[1].Round != 2 {
+		t.Fatalf("rounds = %d, %d; want 1, 2", got[0].Round, got[1].Round)
+	}
+	if got[1].Potential != 7 {
+		t.Fatalf("potential = %d, want 7", got[1].Potential)
+	}
+	if len(sub.Events()) != 0 {
+		t.Fatal("filtered-out events leaked into the queue")
+	}
+}
+
+func TestBusNilAndEmptyPublish(t *testing.T) {
+	var nilBus *Bus
+	nilBus.Publish(Event{Type: TypeRoundCompleted}) // must not panic
+	if nilBus.Subscribers() != 0 || nilBus.Dropped() != 0 {
+		t.Fatal("nil bus reported subscribers or drops")
+	}
+
+	b := NewBus()
+	if n := testing.AllocsPerRun(100, func() {
+		b.Publish(Event{Type: TypeRoundCompleted, Round: 3})
+	}); n != 0 {
+		t.Fatalf("Publish with no subscribers allocated %.1f times per call", n)
+	}
+}
+
+func TestBusSlowSubscriberDrops(t *testing.T) {
+	b := NewBus()
+	sub := b.Subscribe(Filter{}, 2) // bounded queue, never drained
+	defer sub.Close()
+
+	for r := 1; r <= 10; r++ {
+		b.Publish(Event{Type: TypeRoundCompleted, Round: r})
+	}
+	if got := sub.Dropped(); got != 8 {
+		t.Fatalf("subscription dropped %d events, want 8", got)
+	}
+	if got := b.Dropped(); got != 8 {
+		t.Fatalf("bus dropped %d events, want 8", got)
+	}
+	// The queue holds the oldest events (drops discard the newest).
+	first := <-sub.Events()
+	if first.Round != 1 {
+		t.Fatalf("first queued round = %d, want 1", first.Round)
+	}
+}
+
+func TestBusSyncOrderAndCancel(t *testing.T) {
+	b := NewBus()
+	var order []string
+	cancelA := b.SubscribeSync(Filter{}, func(Event) { order = append(order, "a") })
+	cancelB := b.SubscribeSync(Filter{}, func(Event) { order = append(order, "b") })
+
+	b.Publish(Event{Type: TypeRoundCompleted, Round: 1})
+	if strings.Join(order, "") != "ab" {
+		t.Fatalf("sync delivery order = %v, want registration order a,b", order)
+	}
+	if b.Subscribers() != 2 {
+		t.Fatalf("Subscribers = %d, want 2", b.Subscribers())
+	}
+
+	cancelA()
+	cancelA() // idempotent
+	b.Publish(Event{Type: TypeRoundCompleted, Round: 2})
+	if strings.Join(order, "") != "abb" {
+		t.Fatalf("after cancel, order = %v, want a,b,b", order)
+	}
+	cancelB()
+	if b.Subscribers() != 0 {
+		t.Fatalf("Subscribers = %d after cancels, want 0", b.Subscribers())
+	}
+}
+
+func TestSubscriptionClose(t *testing.T) {
+	b := NewBus()
+	sub := b.Subscribe(Filter{}, 4)
+	b.Publish(Event{Type: TypeRoundCompleted, Round: 1})
+	sub.Close()
+	sub.Close() // closing twice is a no-op
+
+	// Pending events stay readable after Close; then the channel ends.
+	var got []Event
+	for ev := range sub.Events() {
+		got = append(got, ev)
+	}
+	if len(got) != 1 || got[0].Round != 1 {
+		t.Fatalf("drained %v after Close, want the one pending event", got)
+	}
+	if b.Subscribers() != 0 {
+		t.Fatalf("Subscribers = %d after Close, want 0", b.Subscribers())
+	}
+	b.Publish(Event{Type: TypeRoundCompleted, Round: 2}) // must not panic
+}
+
+// TestBusConcurrentPublish races many publishers against subscribe /
+// close churn; run under -race (the race-concurrent CI job does).
+func TestBusConcurrentPublish(t *testing.T) {
+	b := NewBus()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	collected := NewRing(1024)
+	detach := collected.Attach(b, Filter{})
+	defer detach()
+
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for r := 1; r <= 500; r++ {
+				b.Publish(Event{Type: TypeRoundCompleted, Round: r, Potential: p})
+			}
+		}(p)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			sub := b.Subscribe(Filter{Types: []Type{TypeRoundCompleted}}, 4)
+			select {
+			case <-sub.Events():
+			case <-stop:
+			default:
+			}
+			sub.Close()
+		}
+	}()
+	wg.Wait()
+	close(stop)
+
+	if got := collected.Len() + int(collected.Evicted()); got != 4*500 {
+		t.Fatalf("sync ring saw %d events, want %d (sync delivery is lossless)", got, 4*500)
+	}
+}

@@ -1,0 +1,93 @@
+package events
+
+import (
+	"bufio"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// JSONLSink streams events to an io.Writer as one JSON line per event
+// (the schema-versioned encoding of Event.AppendJSON). It is an
+// asynchronous subscriber: a drain goroutine moves events from a
+// bounded queue to the writer, so a slow writer never stalls the
+// simulation — it drops (counted on Dropped) instead. Writes are
+// buffered; Close detaches, drains what was queued, flushes, and
+// reports the first write error.
+type JSONLSink struct {
+	sub     *Subscription
+	bw      *bufio.Writer
+	done    chan struct{}
+	written atomic.Int64
+
+	mu  sync.Mutex
+	err error
+}
+
+// NewJSONLSink subscribes to bus with filter f and a queue of the given
+// capacity (0 selects the default, 4096) and starts the drain
+// goroutine. Call Close to stop recording and flush.
+func NewJSONLSink(bus *Bus, w io.Writer, f Filter, buffer int) *JSONLSink {
+	if buffer < 1 {
+		buffer = 4096
+	}
+	s := &JSONLSink{
+		sub:  bus.Subscribe(f, buffer),
+		bw:   bufio.NewWriter(w),
+		done: make(chan struct{}),
+	}
+	go s.drain()
+	return s
+}
+
+func (s *JSONLSink) drain() {
+	defer close(s.done)
+	var buf []byte
+	for ev := range s.sub.Events() {
+		buf = ev.AppendJSON(buf[:0])
+		buf = append(buf, '\n')
+		if _, err := s.bw.Write(buf); err != nil {
+			// Record the first failure but keep consuming: stopping here
+			// would turn a dead writer into unbounded queue drops that
+			// misreport as backpressure.
+			s.setErr(err)
+		} else {
+			s.written.Add(1)
+		}
+	}
+}
+
+// Close unsubscribes, drains the events already queued, flushes the
+// writer, and returns the first write error (also available via Err).
+// It does not close the underlying writer.
+func (s *JSONLSink) Close() error {
+	s.sub.Close()
+	<-s.done
+	if err := s.bw.Flush(); err != nil {
+		s.setErr(err)
+	}
+	return s.Err()
+}
+
+// Written returns the number of lines successfully handed to the
+// buffered writer so far.
+func (s *JSONLSink) Written() int64 { return s.written.Load() }
+
+// Dropped returns how many matching events were lost to the bounded
+// queue while the writer lagged.
+func (s *JSONLSink) Dropped() int64 { return s.sub.Dropped() }
+
+// Err returns the first write error encountered, if any.
+func (s *JSONLSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+func (s *JSONLSink) setErr(err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.mu.Unlock()
+}

@@ -1,0 +1,114 @@
+package events
+
+import (
+	"bufio"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestJSONLSinkGolden pins the wire format line by line: one schema-
+// versioned JSON object per event, only the fields meaningful for the
+// type. Changing the encoding must change these strings — that is the
+// compatibility contract of DESIGN.md §12.
+func TestJSONLSinkGolden(t *testing.T) {
+	b := NewBus()
+	var out strings.Builder
+	sink := NewJSONLSink(b, &out, Filter{}, 0)
+
+	b.Publish(Event{Type: TypeSessionStart, Round: 0, Potential: 56, N: 8, K: 8,
+		Algorithm: "sharedbit", Topology: "regular(d=4, τ=1)"})
+	b.Publish(Event{Type: TypeCheckpointResumed, Round: 40, Potential: 31})
+	b.Publish(Event{Type: TypeChurnApplied, Round: 41, EdgesAdded: 3, EdgesRemoved: 2})
+	b.Publish(Event{Type: TypeAdversaryEpoch, Round: 41, Epoch: 5})
+	b.Publish(Event{Type: TypeRoundCompleted, Round: 41, Potential: 30, Connections: 4,
+		Proposals: 6, ControlBits: 12, TokensMoved: 1, EdgesAdded: 3, EdgesRemoved: 2})
+	b.Publish(Event{Type: TypeCheckpointWritten, Round: 41, Potential: 30})
+	b.Publish(Event{Type: TypeSessionCancel, Round: 41, Potential: 30})
+	b.Publish(Event{Type: TypeSessionEnd, Round: 77, Potential: 0, Solved: true,
+		Connections: 300, Proposals: 450, ControlBits: 900, TokensMoved: 56})
+
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		`{"v":1,"type":"session_start","round":0,"potential":56,"n":8,"k":8,"algorithm":"sharedbit","topology":"regular(d=4, τ=1)"}`,
+		`{"v":1,"type":"checkpoint_resumed","round":40,"potential":31}`,
+		`{"v":1,"type":"churn_applied","round":41,"edges_added":3,"edges_removed":2}`,
+		`{"v":1,"type":"adversary_epoch","round":41,"epoch":5}`,
+		`{"v":1,"type":"round_completed","round":41,"potential":30,"connections":4,"proposals":6,"control_bits":12,"tokens_moved":1,"edges_added":3,"edges_removed":2,"done":false}`,
+		`{"v":1,"type":"checkpoint_written","round":41,"potential":30}`,
+		`{"v":1,"type":"session_cancel","round":41,"potential":30}`,
+		`{"v":1,"type":"session_end","round":77,"potential":0,"solved":true,"connections":300,"proposals":450,"control_bits":900,"tokens_moved":56,"edges_added":0,"edges_removed":0}`,
+	}
+	got := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+	if len(got) != len(want) {
+		t.Fatalf("wrote %d lines, want %d:\n%s", len(got), len(want), out.String())
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("line %d:\n got %s\nwant %s", i+1, got[i], want[i])
+		}
+	}
+	if sink.Written() != int64(len(want)) || sink.Dropped() != 0 {
+		t.Fatalf("Written=%d Dropped=%d, want %d and 0", sink.Written(), sink.Dropped(), len(want))
+	}
+}
+
+func TestAppendJSONEscapes(t *testing.T) {
+	ev := Event{Type: TypeSessionStart, Algorithm: `a"b\c`, Topology: "x\n"}
+	line := string(ev.AppendJSON(nil))
+	if !strings.Contains(line, `"algorithm":"a\"b\\c"`) {
+		t.Fatalf("quotes/backslashes not escaped: %s", line)
+	}
+	if !strings.Contains(line, `"topology":"x\u000a"`) {
+		t.Fatalf("control byte not escaped: %s", line)
+	}
+}
+
+func TestAppendJSONAllocsWithReusedBuffer(t *testing.T) {
+	ev := Event{Type: TypeRoundCompleted, Round: 123456, Potential: 789,
+		Connections: 4, Proposals: 6, ControlBits: 12, TokensMoved: 1}
+	buf := make([]byte, 0, 512)
+	if n := testing.AllocsPerRun(100, func() { _ = ev.AppendJSON(buf[:0]) }); n != 0 {
+		t.Fatalf("AppendJSON with a reused buffer allocated %.1f times per call", n)
+	}
+}
+
+// failWriter fails every write after the first n bytes.
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errors.New("disk full")
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+func TestJSONLSinkWriteError(t *testing.T) {
+	b := NewBus()
+	// A 16-byte bufio buffer makes every event line (longer than 16
+	// bytes) hit the underlying writer directly, so the drain loop sees
+	// the failure immediately instead of only at the Close-time flush.
+	sink := &JSONLSink{
+		sub:  b.Subscribe(Filter{}, 16),
+		bw:   bufio.NewWriterSize(&failWriter{n: 0}, 16),
+		done: make(chan struct{}),
+	}
+	go sink.drain()
+
+	for r := 1; r <= 3; r++ {
+		b.Publish(Event{Type: TypeRoundCompleted, Round: r})
+	}
+	err := sink.Close()
+	if err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("Close() = %v, want the first write error", err)
+	}
+	if sink.Err() == nil {
+		t.Fatal("Err() lost the write error")
+	}
+	if sink.Written() != 0 {
+		t.Fatalf("Written = %d on a dead writer, want 0", sink.Written())
+	}
+}

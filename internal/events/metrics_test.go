@@ -1,0 +1,164 @@
+package events
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// feedSession drives one small synthetic session through the collector
+// via a bus, returning the bus for drop accounting.
+func feedSession(c *Collector) *Bus {
+	b := NewBus()
+	c.Attach(b)
+	b.Publish(Event{Type: TypeSessionStart, Round: 0, Potential: 56, N: 8, K: 8})
+	b.Publish(Event{Type: TypeCheckpointResumed, Round: 0, Potential: 56})
+	for r := 1; r <= 4; r++ {
+		if r == 2 {
+			b.Publish(Event{Type: TypeChurnApplied, Round: r, EdgesAdded: 2, EdgesRemoved: 1})
+		}
+		if r == 3 {
+			b.Publish(Event{Type: TypeAdversaryEpoch, Round: r, Epoch: 1})
+		}
+		b.Publish(Event{Type: TypeRoundCompleted, Round: r, Potential: 56 - r*10,
+			Connections: 3, Proposals: 5, ControlBits: 10, TokensMoved: 2,
+			EdgesAdded: boolInt(r == 2) * 2, EdgesRemoved: boolInt(r == 2)})
+	}
+	b.Publish(Event{Type: TypeCheckpointWritten, Round: 4, Potential: 16})
+	b.Publish(Event{Type: TypeSessionEnd, Round: 4, Potential: 16, Solved: false,
+		Connections: 12, Proposals: 20, ControlBits: 40, TokensMoved: 8})
+	return b
+}
+
+func boolInt(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// parseExposition reads Prometheus text exposition format into a value
+// map, failing the test on malformed HELP/TYPE/sample structure.
+func parseExposition(t *testing.T, r io.Reader) map[string]float64 {
+	t.Helper()
+	vals := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	var lastHelp, lastType string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			lastHelp = strings.SplitN(line[len("# HELP "):], " ", 2)[0]
+		case strings.HasPrefix(line, "# TYPE "):
+			parts := strings.Fields(line[len("# TYPE "):])
+			if len(parts) != 2 || (parts[1] != "counter" && parts[1] != "gauge") {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			lastType = parts[0]
+			if lastType != lastHelp {
+				t.Fatalf("TYPE %q not preceded by its HELP (saw %q)", lastType, lastHelp)
+			}
+		case strings.HasPrefix(line, "#"):
+			t.Fatalf("unknown comment line: %q", line)
+		default:
+			parts := strings.Fields(line)
+			if len(parts) != 2 {
+				t.Fatalf("malformed sample line: %q", line)
+			}
+			if parts[0] != lastType {
+				t.Fatalf("sample %q not preceded by its TYPE (saw %q)", parts[0], lastType)
+			}
+			v, err := strconv.ParseFloat(parts[1], 64)
+			if err != nil {
+				t.Fatalf("sample %q has non-numeric value: %v", parts[0], err)
+			}
+			vals[parts[0]] = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return vals
+}
+
+func TestCollectorWriteTo(t *testing.T) {
+	c := NewCollector()
+	feedSession(c)
+
+	var out strings.Builder
+	if _, err := c.WriteTo(&out); err != nil {
+		t.Fatal(err)
+	}
+	vals := parseExposition(t, strings.NewReader(out.String()))
+
+	want := map[string]float64{
+		"mobilegossip_sessions_started_total":    1,
+		"mobilegossip_sessions_ended_total":      1,
+		"mobilegossip_sessions_solved_total":     0,
+		"mobilegossip_sessions_canceled_total":   0,
+		"mobilegossip_sessions_resumed_total":    1,
+		"mobilegossip_checkpoints_written_total": 1,
+		"mobilegossip_rounds_total":              4,
+		"mobilegossip_potential":                 16,
+		"mobilegossip_tokens_known":              48, // n·k − φ = 64 − 16
+		"mobilegossip_connections_total":         12,
+		"mobilegossip_proposals_total":           20,
+		"mobilegossip_control_bits_total":        40,
+		"mobilegossip_tokens_moved_total":        8,
+		"mobilegossip_edges_added_total":         2,
+		"mobilegossip_edges_removed_total":       1,
+		"mobilegossip_churn_rounds_total":        1,
+		"mobilegossip_adversary_epochs_total":    1,
+		"mobilegossip_events_dropped_total":      0,
+	}
+	for name, v := range want {
+		got, ok := vals[name]
+		if !ok {
+			t.Errorf("metric %s missing from exposition", name)
+			continue
+		}
+		if got != v {
+			t.Errorf("%s = %v, want %v", name, got, v)
+		}
+	}
+	if _, ok := vals["mobilegossip_rounds_per_second"]; !ok {
+		t.Error("mobilegossip_rounds_per_second missing from exposition")
+	}
+	if rps := c.RoundsPerSecond(); rps <= 0 {
+		t.Errorf("RoundsPerSecond = %v after 4 rounds, want > 0", rps)
+	}
+}
+
+func TestCollectorHTTPScrape(t *testing.T) {
+	c := NewCollector()
+	bus := feedSession(c)
+
+	// Make the dropped counter non-zero: an async subscriber with a full
+	// queue loses the next publish.
+	sub := bus.Subscribe(Filter{}, 1)
+	defer sub.Close()
+	bus.Publish(Event{Type: TypeRoundCompleted, Round: 5, Potential: 10})
+	bus.Publish(Event{Type: TypeRoundCompleted, Round: 6, Potential: 9})
+
+	srv := httptest.NewServer(c)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("Content-Type = %q, want the text exposition type", ct)
+	}
+	vals := parseExposition(t, resp.Body)
+	if got := vals["mobilegossip_rounds_total"]; got != 6 {
+		t.Fatalf("rounds_total = %v after scrape, want 6", got)
+	}
+	if got := vals["mobilegossip_events_dropped_total"]; got != 1 {
+		t.Fatalf("events_dropped_total = %v, want 1", got)
+	}
+}

@@ -1,0 +1,80 @@
+package events
+
+import "sync"
+
+// Ring is a fixed-capacity in-memory event store with a query API: the
+// most recent events are retained, the oldest are evicted (and counted)
+// once the buffer is full. Attach it to a Bus as a synchronous
+// subscriber — storing an event is one mutex-guarded struct copy, so it
+// is lossless and cheap — then query it at any time with Events, even
+// while the simulation is still running. All methods are safe for
+// concurrent use.
+type Ring struct {
+	mu      sync.Mutex
+	buf     []Event
+	head    int // index of the oldest retained event
+	count   int
+	evicted int64
+}
+
+// NewRing returns a ring retaining up to capacity events (minimum 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]Event, capacity)}
+}
+
+// Attach subscribes the ring to bus synchronously, recording every
+// event matching f. The returned cancel function detaches it.
+func (r *Ring) Attach(bus *Bus, f Filter) (cancel func()) {
+	return bus.SubscribeSync(f, r.Add)
+}
+
+// Add records one event, evicting the oldest when full.
+func (r *Ring) Add(ev Event) {
+	r.mu.Lock()
+	if r.count == len(r.buf) {
+		r.buf[r.head] = ev
+		r.head = (r.head + 1) % len(r.buf)
+		r.evicted++
+	} else {
+		r.buf[(r.head+r.count)%len(r.buf)] = ev
+		r.count++
+	}
+	r.mu.Unlock()
+}
+
+// Events returns the retained events matching f, oldest first. The
+// result is a fresh slice; the ring keeps recording while and after the
+// call.
+func (r *Ring) Events(f Filter) []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Event
+	for i := 0; i < r.count; i++ {
+		ev := r.buf[(r.head+i)%len(r.buf)]
+		if f.Match(ev) {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// Len returns the number of events currently retained.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.count
+}
+
+// Cap returns the ring's fixed capacity.
+func (r *Ring) Cap() int { return len(r.buf) }
+
+// Evicted returns how many events were overwritten because the ring was
+// full.
+func (r *Ring) Evicted() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.evicted
+}

@@ -1,0 +1,64 @@
+package events
+
+import "testing"
+
+func TestRingEviction(t *testing.T) {
+	r := NewRing(3)
+	if r.Cap() != 3 {
+		t.Fatalf("Cap = %d, want 3", r.Cap())
+	}
+	for round := 1; round <= 5; round++ {
+		r.Add(Event{Type: TypeRoundCompleted, Round: round})
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+	if r.Evicted() != 2 {
+		t.Fatalf("Evicted = %d, want 2", r.Evicted())
+	}
+	got := r.Events(Filter{})
+	if len(got) != 3 || got[0].Round != 3 || got[2].Round != 5 {
+		t.Fatalf("retained rounds %v, want oldest-first 3..5", got)
+	}
+}
+
+func TestRingFilteredQuery(t *testing.T) {
+	b := NewBus()
+	r := NewRing(16)
+	detach := r.Attach(b, Filter{})
+	defer detach()
+
+	for round := 1; round <= 6; round++ {
+		if round%2 == 0 {
+			b.Publish(Event{Type: TypeChurnApplied, Round: round, EdgesAdded: round})
+		}
+		b.Publish(Event{Type: TypeRoundCompleted, Round: round})
+	}
+
+	churn := r.Events(Filter{Types: []Type{TypeChurnApplied}})
+	if len(churn) != 3 {
+		t.Fatalf("churn query returned %d events, want 3", len(churn))
+	}
+	window := r.Events(Filter{Types: []Type{TypeRoundCompleted}, MinRound: 2, MaxRound: 4})
+	if len(window) != 3 || window[0].Round != 2 || window[2].Round != 4 {
+		t.Fatalf("window query returned %v, want rounds 2..4", window)
+	}
+	// Queries return a fresh slice: the ring keeps recording.
+	b.Publish(Event{Type: TypeRoundCompleted, Round: 7})
+	if len(window) != 3 {
+		t.Fatal("earlier query result mutated by later publish")
+	}
+}
+
+func TestRingMinimumCapacity(t *testing.T) {
+	r := NewRing(0)
+	if r.Cap() != 1 {
+		t.Fatalf("Cap = %d, want clamped minimum 1", r.Cap())
+	}
+	r.Add(Event{Type: TypeRoundCompleted, Round: 1})
+	r.Add(Event{Type: TypeRoundCompleted, Round: 2})
+	got := r.Events(Filter{})
+	if len(got) != 1 || got[0].Round != 2 {
+		t.Fatalf("retained %v, want just round 2", got)
+	}
+}

@@ -3,6 +3,7 @@ package mobilegossip
 import (
 	"io"
 
+	"mobilegossip/internal/events"
 	"mobilegossip/internal/mtm"
 	"mobilegossip/internal/trace"
 )
@@ -179,6 +180,41 @@ func (cm *ChurnMeter) EdgesAdded() int64 { return cm.added }
 
 // EdgesRemoved returns the total edges removed over the observed rounds.
 func (cm *ChurnMeter) EdgesRemoved() int64 { return cm.removed }
+
+// fanOut delivers bus events to the attached Observer pipeline; it is
+// registered as a synchronous bus subscriber by the first Observe call,
+// making every observer a (lossless, in-order) bus subscriber without
+// changing the pipeline's behavior: BeginRun on the session-start
+// event, EndRound per completed round, EndRun on session end. Other
+// event types carry no observer callback and pass through.
+func (s *Simulation) fanOut(ev events.Event) {
+	switch ev.Type {
+	case events.TypeSessionStart:
+		for _, o := range s.observers {
+			o.BeginRun(s)
+		}
+	case events.TypeRoundCompleted:
+		stats := RoundStats{
+			Round:        ev.Round,
+			Potential:    ev.Potential,
+			Connections:  int(ev.Connections),
+			Proposals:    int(ev.Proposals),
+			ControlBits:  ev.ControlBits,
+			TokensMoved:  ev.TokensMoved,
+			EdgesAdded:   ev.EdgesAdded,
+			EdgesRemoved: ev.EdgesRemoved,
+			Done:         ev.Done,
+		}
+		for _, o := range s.observers {
+			o.EndRound(stats)
+		}
+	case events.TypeSessionEnd:
+		res := s.Result()
+		for _, o := range s.observers {
+			o.EndRun(res)
+		}
+	}
+}
 
 // onRoundObserver adapts the legacy Config.OnRound callback onto the
 // observer pipeline.

@@ -9,6 +9,7 @@ import (
 	"mobilegossip/internal/adversary"
 	"mobilegossip/internal/core"
 	"mobilegossip/internal/dyngraph"
+	"mobilegossip/internal/events"
 	"mobilegossip/internal/mtm"
 	"mobilegossip/internal/prand"
 	"mobilegossip/internal/trace"
@@ -50,6 +51,12 @@ type Simulation struct {
 	legacyRec *trace.Recorder // Config.TraceWriter recorder, for Run's error contract
 	began     bool
 	finished  bool
+
+	bus          *events.Bus
+	fanAttached  bool              // observer pipeline registered on the bus
+	resumed      bool              // built by Resume: begin announces it
+	adv          *adversary.Engine // non-nil when the schedule is adversarial
+	lastAdvEpoch int               // last adversary epoch announced on the bus
 }
 
 // ErrSimulationDone is returned by Step once the run is over (objective
@@ -121,13 +128,16 @@ func New(cfg Config) (*Simulation, error) {
 		return nil, err
 	}
 
+	s := &Simulation{cfg: cfg, st: st, dyn: dyn, proto: parts.proto, parts: parts,
+		bus: events.NewBus(), lastAdvEpoch: -1}
+
 	// Adaptive adversaries read the live token state; bind before round 1
 	// so even the initial topology is shaped by the starting assignment.
 	if adv, ok := dyn.(*adversary.Engine); ok {
 		adv.Bind(tokenCounts{st})
+		s.adv = adv
+		s.lastAdvEpoch = adv.Epoch()
 	}
-
-	s := &Simulation{cfg: cfg, st: st, dyn: dyn, proto: parts.proto, parts: parts}
 	s.eng = mtm.NewEngine(dyn, s.proto, mtm.Config{
 		Seed:       prand.Mix64(cfg.Seed ^ 0x51afd7ed558ccd6d),
 		MaxRounds:  cfg.MaxRounds,
@@ -180,11 +190,26 @@ func (s *Simulation) SetEngineWorkers(w int) {
 	s.eng.SetWorkers(resolveEngineWorkers(w, s.cfg.N))
 }
 
+// Bus returns the session's event bus: every lifecycle event — session
+// start/end/cancel, each completed round, churn, adversary epochs,
+// checkpoint writes and resumes — is published on it as a typed
+// events.Event (see DESIGN.md §12 for the taxonomy). Attach sinks
+// (NewJSONLSink, NewMetricsCollector, NewEventRing) or subscribe
+// directly; with no subscriber attached the bus costs the hot path
+// nothing.
+func (s *Simulation) Bus() *events.Bus { return s.bus }
+
 // Observe attaches observers to the session. Observers attached before the
 // first Step see the whole run; observers attached mid-run see the rounds
 // from their attachment on (their BeginRun is skipped once the run has
 // begun). Observers that tap the protocol layer (TraceObserver) take
 // effect from the next round.
+//
+// Observers are delivered through the session's event bus: the first
+// Observe call registers the pipeline as a synchronous, lossless bus
+// subscriber, so observers and event sinks see the same stream in the
+// same order — and legacy behavior (ordering, per-round stats, the
+// final Result) is byte-identical to the pre-bus direct calls.
 //
 // Protocol-tapping observers record events from inside the engine's round
 // phases, so under a parallel engine their per-round event order follows
@@ -204,32 +229,51 @@ func (s *Simulation) Observe(obs ...Observer) {
 				s.eng.SetWorkers(1)
 			}
 		}
+		if !s.fanAttached {
+			s.fanAttached = true
+			s.bus.SubscribeSync(events.Filter{}, s.fanOut)
+		}
 		s.observers = append(s.observers, o)
 	}
 }
 
-// begin fires BeginRun exactly once per process session (a resumed
-// simulation fires it again for its freshly attached observers).
+// begin publishes the session-start events exactly once per process
+// session (a resumed simulation announces itself again, for its freshly
+// attached subscribers); the observer fan turns the start event into
+// the one-time BeginRun.
 func (s *Simulation) begin() {
 	if s.began {
 		return
 	}
 	s.began = true
-	for _, o := range s.observers {
-		o.BeginRun(s)
+	s.bus.Publish(events.Event{
+		Type: events.TypeSessionStart, Round: s.eng.Round(), Potential: s.st.Potential(),
+		N: s.cfg.N, K: s.st.K(),
+		Algorithm: s.cfg.Algorithm.String(), Topology: s.dyn.Name(),
+	})
+	if s.resumed {
+		s.bus.Publish(events.Event{
+			Type: events.TypeCheckpointResumed, Round: s.eng.Round(), Potential: s.st.Potential(),
+		})
 	}
 }
 
-// finish fires EndRun exactly once.
+// finish publishes the session-end event exactly once; the observer fan
+// turns it into the one-time EndRun.
 func (s *Simulation) finish() {
 	if s.finished {
 		return
 	}
 	s.finished = true
 	res := s.Result()
-	for _, o := range s.observers {
-		o.EndRun(res)
-	}
+	s.bus.Publish(events.Event{
+		Type: events.TypeSessionEnd, Round: res.Rounds, Potential: res.FinalPotential,
+		Solved: res.Solved, N: s.cfg.N, K: s.st.K(),
+		Algorithm: res.Algorithm.String(), Topology: res.Topology,
+		Connections: res.Connections, Proposals: res.Proposals,
+		ControlBits: res.ControlBits, TokensMoved: res.TokensMoved,
+		EdgesAdded: int(res.EdgesAdded), EdgesRemoved: int(res.EdgesRemoved),
+	})
 }
 
 // Step executes exactly one round, feeds the observers, and returns the
@@ -260,9 +304,28 @@ func (s *Simulation) Step() (RoundStats, error) {
 		EdgesRemoved: es.EdgesRemoved,
 		Done:         es.Done,
 	}
-	for _, o := range s.observers {
-		o.EndRound(stats)
+	// Per-round events, causal order: the topology perturbations that
+	// shaped the round precede its completion summary. The observer
+	// pipeline rides the same bus (see fanOut).
+	if s.adv != nil {
+		if e := s.adv.Epoch(); e != s.lastAdvEpoch {
+			s.lastAdvEpoch = e
+			s.bus.Publish(events.Event{Type: events.TypeAdversaryEpoch, Round: es.Round, Epoch: e})
+		}
 	}
+	if es.EdgesAdded != 0 || es.EdgesRemoved != 0 {
+		s.bus.Publish(events.Event{
+			Type: events.TypeChurnApplied, Round: es.Round,
+			EdgesAdded: es.EdgesAdded, EdgesRemoved: es.EdgesRemoved,
+		})
+	}
+	s.bus.Publish(events.Event{
+		Type: events.TypeRoundCompleted, Round: stats.Round, Potential: stats.Potential,
+		Connections: int64(stats.Connections), Proposals: int64(stats.Proposals),
+		ControlBits: stats.ControlBits, TokensMoved: stats.TokensMoved,
+		EdgesAdded: stats.EdgesAdded, EdgesRemoved: stats.EdgesRemoved,
+		Done: stats.Done,
+	})
 	if s.eng.Finished() {
 		s.finish()
 	}
@@ -276,6 +339,9 @@ func (s *Simulation) Step() (RoundStats, error) {
 func (s *Simulation) Run(ctx context.Context) (Result, error) {
 	for !s.eng.Finished() {
 		if err := ctx.Err(); err != nil {
+			s.bus.Publish(events.Event{
+				Type: events.TypeSessionCancel, Round: s.eng.Round(), Potential: s.st.Potential(),
+			})
 			return s.Result(), err
 		}
 		if _, err := s.Step(); err != nil {
