@@ -50,11 +50,12 @@ race:
 # race-concurrent runs every parallel engine path — the mtm concurrent
 # backend, the shard-parallel round engine (including the root package's
 # n=10k all-algorithms/all-adversaries workload), the adversary schedules
-# driven through them, and the observer/trace layers that tap them —
-# un-shortened under the race detector.
+# driven through them, the observer/trace layers that tap them, and the
+# profiling read side (live /metrics scrapes and histogram reads against
+# a profiled parallel session) — un-shortened under the race detector.
 race-concurrent:
 	$(GO) test -race -count=1 -run 'Concurrent|Backends|Sharded|EngineWorkers|Bus|Sink|Collector' \
-		. ./internal/mtm ./internal/adversary ./internal/trace ./internal/leader ./internal/events
+		. ./internal/mtm ./internal/adversary ./internal/trace ./internal/leader ./internal/events ./internal/profile
 
 # cover enforces the ratcheted coverage floor (COVER_MIN, measured at merge
 # time) over the library surface — the root package and internal/... (cmd/
@@ -99,9 +100,17 @@ bench-core:
 # bench-gate compares a fresh bench-core run against the committed
 # BENCH_core.json baseline (±15% ns/op and allocs/op; a 0-alloc baseline
 # admits no allocations) and records the fresh numbers for inspection.
+# The -ratio pin holds the profiled session row to ≤1.25× the unprofiled
+# one within the same fresh run — a machine-independent bound on the
+# profiling-overhead contract (DESIGN.md §13: measured overhead is within
+# noise of zero). The pin is deliberately looser than the measured ≤5%:
+# per-row noise on shared CI runners is ±20%, so a tight pin would flake;
+# 1.25× still fails on any structural regression (an allocation or
+# per-agent work sneaking into the profiled path).
 bench-gate: bench-core
 	$(GO) run ./cmd/benchgate -input bench-core.txt -baseline BENCH_core.json \
-		-out BENCH_core.fresh.json -benchtime $(BENCHTIME) -tolerance $(TOLERANCE)
+		-out BENCH_core.fresh.json -benchtime $(BENCHTIME) -tolerance $(TOLERANCE) \
+		-ratio 'EngineRound/sess_prof_n2048_k1024,EngineRound/sess_n2048_k1024,1.25'
 
 # bench-baseline rewrites BENCH_core.json from a fresh run; commit the
 # result after intentional performance changes.
@@ -121,7 +130,11 @@ bench-baseline: bench-core
 #   - a session checkpointed mid-run at that cell and resumed under the
 #     *complementary* worker count (8−w: sequential ↔ sharded) must
 #     reproduce the uninterrupted run byte-for-byte — sequential and
-#     parallel engines write interchangeable checkpoints.
+#     parallel engines write interchangeable checkpoints;
+#   - the same run with -profile attached must print a byte-identical
+#     result table (the "profile:" timing lines — the only output that
+#     legitimately varies — are stripped): profiling never affects
+#     simulation output (DESIGN.md §13).
 determinism-matrix:
 	$(GO) build -o dmx_benchtable ./cmd/benchtable
 	$(GO) build -o dmx_gossipsim ./cmd/gossipsim
@@ -135,14 +148,18 @@ determinism-matrix:
 		GOMAXPROCS=$$gmp ./dmx_gossipsim -resume dmx.ckpt -engineworkers $$((8-$$w)) \
 			| grep -v 'wall time\|resumed from' > dmx_resumed.txt; \
 		cmp dmx_full.txt dmx_resumed.txt; \
+		GOMAXPROCS=$$gmp ./dmx_gossipsim -alg sharedbit -graph waypoint -n 2000 -k 8 -tau 1 -seed 5 \
+			-engineworkers $$w -profile \
+			| grep -v 'wall time\|^profile' > dmx_prof.txt; \
+		cmp dmx_full.txt dmx_prof.txt; \
 		if [ -z "$$ref" ]; then \
 			ref="gmp$$gmp-w$$w"; cp dmx_cell.csv dmx_ref.csv; cp dmx_full.txt dmx_ref_full.txt; \
 		else \
 			cmp dmx_ref.csv dmx_cell.csv; cmp dmx_ref_full.txt dmx_full.txt; \
 		fi; \
 	done; done; \
-	rm -f dmx_benchtable dmx_gossipsim dmx.ckpt dmx_cell.csv dmx_ref.csv dmx_full.txt dmx_resumed.txt dmx_ref_full.txt; \
-	echo "determinism-matrix: E1/E22/E25 tables and mid-run checkpoints byte-identical across all 12 (GOMAXPROCS, workers) cells"
+	rm -f dmx_benchtable dmx_gossipsim dmx.ckpt dmx_cell.csv dmx_ref.csv dmx_full.txt dmx_resumed.txt dmx_ref_full.txt dmx_prof.txt; \
+	echo "determinism-matrix: E1/E22/E25 tables, mid-run checkpoints and profiled runs byte-identical across all 12 (GOMAXPROCS, workers) cells"
 
 # docs regenerates docs/cli.md from the CLIs' live -h output; docs-verify
 # (run by the CI build job) fails when the committed reference has drifted

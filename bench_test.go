@@ -231,6 +231,14 @@ func BenchmarkPPUSH(b *testing.B) {
 // is pinned to 1: the rows gate bus overhead against the sequential
 // engine baseline, not shard fan-out (which allocates per shard per
 // phase; see BenchmarkEngineRoundParallel).
+//
+// sess_prof_n2048_k1024 is the same workload with Config.Profile on —
+// clock reads, histogram records, the stall detector, and a
+// round_profile publish every round. It must also hold 0 allocs/op, and
+// the bench gate pins its ns/op to at most 1.25× the unprofiled sess row
+// via benchgate -ratio — a loose bound (per-row noise on shared runners
+// is ±20%; measured overhead is within noise of zero, see DESIGN.md §13)
+// that still fails on any structural regression in the profiled path.
 func BenchmarkEngineRound(b *testing.B) {
 	cases := []struct {
 		name string
@@ -267,12 +275,16 @@ func BenchmarkEngineRound(b *testing.B) {
 			}
 		})
 	}
-	for _, withBus := range []bool{false, true} {
-		name := "sess_n2048_k1024"
-		if withBus {
-			name = "sess_bus_n2048_k1024"
-		}
-		b.Run(name, func(b *testing.B) {
+	for _, sc := range []struct {
+		name    string
+		withBus bool
+		prof    bool
+	}{
+		{"sess_n2048_k1024", false, false},
+		{"sess_bus_n2048_k1024", true, false},
+		{"sess_prof_n2048_k1024", false, true},
+	} {
+		b.Run(sc.name, func(b *testing.B) {
 			b.ReportAllocs()
 			// k = n/2: at most n/2 connections move one token each per round
 			// and n·k (node, token) pairs must be learned, so no seed can
@@ -282,11 +294,12 @@ func BenchmarkEngineRound(b *testing.B) {
 				Algorithm: mobilegossip.AlgSharedBit, N: 2048, K: 1024,
 				Topology: mobilegossip.Topology{Kind: mobilegossip.RandomRegular, Degree: 4},
 				Seed:     3, MaxRounds: b.N, EngineWorkers: 1,
+				Profile: sc.prof,
 			})
 			if err != nil {
 				b.Fatal(err)
 			}
-			if withBus {
+			if sc.withBus {
 				sub := sim.Bus().Subscribe(mobilegossip.EventFilter{}, 64)
 				defer sub.Close()
 			}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"mobilegossip/internal/adversary"
 	"mobilegossip/internal/ckpt"
@@ -88,6 +89,13 @@ func (s *Simulation) Checkpoint(w io.Writer) error {
 	if err := s.eng.Failed(); err != nil {
 		return fmt.Errorf("mobilegossip: cannot checkpoint a failed run: %w", err)
 	}
+	// The checkpoint bytes are identical profiled or not (Profile is a
+	// wall-clock-only knob, deliberately outside the stream like
+	// EngineWorkers); profiling only times the serialization below.
+	var t0 time.Time
+	if s.prof != nil {
+		t0 = time.Now()
+	}
 	cw := ckpt.NewWriter(w)
 	cw.String(checkpointMagic)
 	cw.U64(CheckpointVersion)
@@ -118,8 +126,14 @@ func (s *Simulation) Checkpoint(w io.Writer) error {
 	if err := cw.Flush(); err != nil {
 		return err
 	}
+	var writeNs int64
+	if s.prof != nil {
+		writeNs = time.Since(t0).Nanoseconds()
+		s.prof.RecordCheckpointWrite(writeNs)
+	}
 	s.bus.Publish(events.Event{
 		Type: events.TypeCheckpointWritten, Round: s.eng.Round(), Potential: s.st.Potential(),
+		WriteNanos: writeNs,
 	})
 	return nil
 }

@@ -23,6 +23,12 @@
 //     fails the gate too, listing the added rows: new benchmarks enter the
 //     gate by regenerating the baseline (make bench-baseline), never by
 //     slipping past it ungated.
+//   - -ratio 'ROW,BASEROW,MAX' (repeatable) additionally pins one fresh
+//     row's ns/op to at most MAX × another fresh row's — both measured in
+//     the same run, so the check is machine-independent. The profiling
+//     overhead gate uses it: the profiled engine row may cost at most
+//     1.25× the unprofiled one (see the Makefile bench-gate comment for
+//     why the bound is looser than the measured overhead).
 //
 // The fresh results are always written to -out (when given) in the same
 // BENCH JSON shape, so CI can upload them as a build artifact and a baseline
@@ -77,6 +83,15 @@ func run(args []string) error {
 		tolerance = fs.Float64("tolerance", 0.15, "allowed relative growth in ns/op and allocs/op")
 		benchtime = fs.String("benchtime", "", "benchtime tag recorded in the output document")
 	)
+	var ratios []ratioCheck
+	fs.Func("ratio", "pin one fresh row's ns/op to at most MAX× another's, as 'ROW,BASEROW,MAX' (repeatable; rows named as in the BENCH JSON)", func(s string) error {
+		rc, err := parseRatio(s)
+		if err != nil {
+			return err
+		}
+		ratios = append(ratios, rc)
+		return nil
+	})
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil // usage already printed by the FlagSet
@@ -118,7 +133,37 @@ func run(args []string) error {
 		fmt.Printf("recorded %d benchmarks to %s\n", len(fresh), *out)
 	}
 
+	byName := make(map[string]benchRow, len(fresh))
+	for _, row := range fresh {
+		byName[row.Name] = row
+	}
+	failures := 0
+	// Ratio pins compare two rows of the same fresh run, so they apply
+	// with or without a baseline document.
+	for _, rc := range ratios {
+		got, ok1 := byName[rc.name]
+		base, ok2 := byName[rc.base]
+		switch {
+		case !ok1 || !ok2:
+			fmt.Printf("FAIL ratio %s/%s: row missing from the fresh run\n", rc.name, rc.base)
+			failures++
+		case base.NsPerOp <= 0:
+			fmt.Printf("FAIL ratio %s/%s: base row has no ns/op\n", rc.name, rc.base)
+			failures++
+		case got.NsPerOp > rc.max*base.NsPerOp:
+			fmt.Printf("FAIL ratio %-28s ns/op %.0f > %.2f× %s (%.0f, ratio %.3f)\n",
+				rc.name, got.NsPerOp, rc.max, rc.base, base.NsPerOp, got.NsPerOp/base.NsPerOp)
+			failures++
+		default:
+			fmt.Printf("ok   ratio %-28s ns/op %.0f ≤ %.2f× %s (ratio %.3f)\n",
+				rc.name, got.NsPerOp, rc.max, rc.base, got.NsPerOp/base.NsPerOp)
+		}
+	}
+
 	if *baseline == "" {
+		if failures > 0 {
+			return fmt.Errorf("%d ratio pin(s) failed", failures)
+		}
 		return nil
 	}
 	buf, err := os.ReadFile(*baseline)
@@ -138,15 +183,10 @@ func run(args []string) error {
 		return fmt.Errorf("baseline %s contains no benchmark rows (a sweep document is not a bench baseline)", *baseline)
 	}
 
-	byName := make(map[string]benchRow, len(fresh))
-	for _, row := range fresh {
-		byName[row.Name] = row
-	}
 	baseNames := make(map[string]bool, len(base.Rows))
 	for _, row := range base.Rows {
 		baseNames[row.Name] = true
 	}
-	failures := 0
 	// Fresh rows the baseline has never seen would otherwise pass silently
 	// and run forever ungated; surface them as an explicit diff.
 	var added []string
@@ -224,6 +264,30 @@ func checkSchema(schema string) error {
 	}
 	sort.Strings(known)
 	return fmt.Errorf("unsupported schema %q (accepted: %s)", schema, strings.Join(known, ", "))
+}
+
+// ratioCheck is one -ratio pin: the fresh ns/op of row name must be at
+// most max × the fresh ns/op of row base.
+type ratioCheck struct {
+	name, base string
+	max        float64
+}
+
+// parseRatio parses the 'ROW,BASEROW,MAX' form of the -ratio flag.
+func parseRatio(s string) (ratioCheck, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 3 {
+		return ratioCheck{}, fmt.Errorf("-ratio wants 'ROW,BASEROW,MAX', got %q", s)
+	}
+	max, err := strconv.ParseFloat(strings.TrimSpace(parts[2]), 64)
+	if err != nil || max <= 0 {
+		return ratioCheck{}, fmt.Errorf("-ratio %q: MAX %q is not a positive number", s, parts[2])
+	}
+	name, base := strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1])
+	if name == "" || base == "" {
+		return ratioCheck{}, fmt.Errorf("-ratio %q: empty row name", s)
+	}
+	return ratioCheck{name: name, base: base, max: max}, nil
 }
 
 // benchLine matches `go test -bench -benchmem` result lines, e.g.

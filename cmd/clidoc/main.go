@@ -29,7 +29,8 @@ var tools = []struct{ name, summary string }{
 	{"gossipsim", "run gossip simulations (single sessions, sweeps, checkpoints, events, metrics)"},
 	{"graphinfo", "report topology structure (Δ, D, α) and dynamic-schedule churn"},
 	{"benchtable", "regenerate the paper's evaluation tables (experiments E1..E27)"},
-	{"traceview", "summarize a -tracefile JSONL proposal/connection trace"},
+	{"traceview", "summarize a -tracefile JSONL proposal/connection trace (or, with -events, a session-event file)"},
+	{"runreport", "analyze a -events JSONL file: latency percentiles, phase breakdown, convergence verdict"},
 	{"benchgate", "compare a benchmark run against the committed baseline (CI regression gate)"},
 }
 

@@ -49,6 +49,19 @@
 //	gossipsim -alg sharedbit -graph waypoint -n 5000 -k 8 -tau 1 \
 //	    -events events.jsonl -metrics :9090
 //	curl -s localhost:9090/metrics    # while the run lasts
+//
+// Profiling (DESIGN.md §13, single runs only): -profile attaches the
+// engine's timing sidecar — round/phase latency histograms, shard
+// balance, the stall detector — without changing the simulation's output
+// in any way. The run then emits round_profile events into -events
+// (feed the file to runreport), exposes latency histograms and a health
+// gauge on -metrics alongside Go's /debug/pprof handlers, and prints a
+// "profile:"-prefixed timing summary after the result table:
+//
+//	gossipsim -alg sharedbit -graph waypoint -n 5000 -k 8 -tau 1 \
+//	    -profile -events run.jsonl -metrics :9090
+//	runreport run.jsonl
+//	curl -s localhost:9090/debug/pprof/profile?seconds=5 > cpu.pb.gz
 package main
 
 import (
@@ -58,6 +71,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
@@ -113,7 +127,8 @@ func run(args []string) error {
 		resumeF   = fs.String("resume", "", "resume from this checkpoint file; the simulation flags come from the checkpoint")
 		sample    = fs.Int("sample", 0, "record φ(r) every this many rounds and print the curve after the run (single runs only)")
 		eventsF   = fs.String("events", "", "write session events (round/churn/checkpoint/session, DESIGN.md §12) as JSONL to this file (single runs only)")
-		metricsF  = fs.String("metrics", "", "serve a Prometheus-style /metrics endpoint on this address, e.g. :9090, for the run's duration (single runs only)")
+		metricsF  = fs.String("metrics", "", "serve Prometheus-style /metrics plus /debug/pprof on this address, e.g. :9090, for the run's duration (single runs only)")
+		profileF  = fs.Bool("profile", false, "attach the engine timing profiler (DESIGN.md §13): round_profile events, latency histograms on -metrics, a post-run summary; never changes the simulation's results (single runs only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -126,7 +141,7 @@ func run(args []string) error {
 		return runResume(*resumeF, *engineW, obsOptions{
 			trace: *trace, traceFile: *traceFile, sample: *sample,
 			ckptFile: *ckptFile, ckptAt: *ckptAt,
-			events: *eventsF, metrics: *metricsF,
+			events: *eventsF, metrics: *metricsF, profile: *profileF,
 		})
 	}
 
@@ -178,8 +193,8 @@ func run(args []string) error {
 	}
 
 	if len(ns) > 1 || len(ks) > 1 || *trials > 1 || *asJSON {
-		if *trace > 0 || *traceFile != "" || *sample > 0 || *ckptFile != "" || *eventsF != "" || *metricsF != "" {
-			return fmt.Errorf("-trace, -tracefile, -sample, -checkpoint, -events and -metrics apply to single runs only, not sweeps")
+		if *trace > 0 || *traceFile != "" || *sample > 0 || *ckptFile != "" || *eventsF != "" || *metricsF != "" || *profileF {
+			return fmt.Errorf("-trace, -tracefile, -sample, -checkpoint, -events, -metrics and -profile apply to single runs only, not sweeps")
 		}
 		var points []mobilegossip.Config
 		for _, n := range ns {
@@ -191,6 +206,7 @@ func run(args []string) error {
 	}
 	cfg := mkConfig(ns[0], ks[0])
 	cfg.Seed = *seed
+	cfg.Profile = *profileF
 	sim, err := mobilegossip.New(cfg)
 	if err != nil {
 		return err
@@ -198,7 +214,7 @@ func run(args []string) error {
 	return driveSingle(sim, obsOptions{
 		trace: *trace, traceFile: *traceFile, sample: *sample,
 		ckptFile: *ckptFile, ckptAt: *ckptAt,
-		events: *eventsF, metrics: *metricsF,
+		events: *eventsF, metrics: *metricsF, profile: *profileF,
 	})
 }
 
@@ -250,11 +266,13 @@ type obsOptions struct {
 	ckptAt    int
 	events    string // -events: JSONL event-sink file
 	metrics   string // -metrics: /metrics listen address
+	profile   bool   // -profile: attach the timing sidecar
 }
 
 // runResume revives a checkpointed session and drives it to completion.
-// Checkpoints carry no worker count (sequential and parallel runs write
-// interchangeable streams), so the -engineworkers flag applies to the
+// Checkpoints carry no worker count or profiling state (sequential,
+// parallel, profiled and unprofiled runs all write interchangeable
+// streams), so the -engineworkers and -profile flags apply to the
 // revived session directly.
 func runResume(path string, engineWorkers int, opts obsOptions) error {
 	f, err := os.Open(path)
@@ -267,6 +285,9 @@ func runResume(path string, engineWorkers int, opts obsOptions) error {
 		return err
 	}
 	sim.SetEngineWorkers(engineWorkers)
+	if opts.profile {
+		sim.EnableProfiling()
+	}
 	fmt.Printf("resumed from %s at round %d (φ=%d)\n", path, sim.Round(), sim.Potential())
 	return driveSingle(sim, opts)
 }
@@ -304,18 +325,11 @@ func driveSingle(sim *mobilegossip.Simulation, opts obsOptions) error {
 		sink = mobilegossip.NewJSONLSink(sim.Bus(), f, mobilegossip.EventFilter{}, 0)
 	}
 	if opts.metrics != "" {
-		col := mobilegossip.NewMetricsCollector()
-		col.Attach(sim.Bus())
-		mux := http.NewServeMux()
-		mux.Handle("/metrics", col)
-		ln, err := net.Listen("tcp", opts.metrics)
+		stop, err := serveMetrics(sim, opts.metrics)
 		if err != nil {
 			return err
 		}
-		srv := &http.Server{Handler: mux}
-		go srv.Serve(ln) //nolint:errcheck // closed deliberately below
-		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "serving /metrics on http://%s/metrics\n", ln.Addr())
+		defer stop()
 	}
 
 	start := time.Now()
@@ -356,6 +370,40 @@ func driveSingle(sim *mobilegossip.Simulation, opts obsOptions) error {
 	}
 	elapsed := time.Since(start)
 	return printResult(sim, res, sampler, elapsed)
+}
+
+// serveMetrics binds the -metrics address and serves the run's metrics
+// collector plus Go's pprof handlers until the returned stop function is
+// called. A bind failure (port taken, bad address) fails the command
+// immediately instead of silently running without the endpoint; stop
+// shuts the server down gracefully so in-flight scrapes finish.
+func serveMetrics(sim *mobilegossip.Simulation, addr string) (stop func(), err error) {
+	col := mobilegossip.NewMetricsCollector()
+	col.Attach(sim.Bus())
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", col)
+	// The pprof handlers must be mounted by hand: the package's side-
+	// effect registration only covers http.DefaultServeMux.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("-metrics: cannot listen on %q: %w", addr, err)
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Shutdown
+	fmt.Fprintf(os.Stderr, "serving /metrics and /debug/pprof on http://%s/\n", ln.Addr())
+	return func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "metrics server shutdown: %v\n", err)
+		}
+	}, nil
 }
 
 // writeCheckpoint snapshots the session to path.
@@ -421,7 +469,44 @@ func printResult(sim *mobilegossip.Simulation, res mobilegossip.Result, sampler 
 			fmt.Printf("  round %8d  φ=%d\n", s.Round, s.Potential)
 		}
 	}
+	printProfile(sim)
 	return nil
+}
+
+// printProfile renders the -profile post-run summary. Every line is
+// prefixed "profile:" so scripted consumers comparing result tables
+// across profiled and unprofiled runs (the determinism-matrix target)
+// can strip the timing — the only output that legitimately varies —
+// with a single grep.
+func printProfile(sim *mobilegossip.Simulation) {
+	p := sim.Profiler()
+	if p == nil || p.Rounds() == 0 {
+		return
+	}
+	d := func(ns int64) time.Duration { return time.Duration(ns) }
+	rl := p.RoundLatency()
+	fmt.Printf("profile: %d rounds, latency p50 ≤%v p95 ≤%v p99 ≤%v, health %s\n",
+		p.Rounds(), d(rl.Quantile(0.50)), d(rl.Quantile(0.95)), d(rl.Quantile(0.99)),
+		sim.Health())
+	var phaseSum int64
+	for _, ph := range mobilegossip.ProfilePhases() {
+		phaseSum += p.PhaseLatency(ph).Sum()
+	}
+	if phaseSum > 0 {
+		fmt.Printf("profile: phase shares")
+		for _, ph := range mobilegossip.ProfilePhases() {
+			fmt.Printf("  %s %.1f%%", ph, 100*float64(p.PhaseLatency(ph).Sum())/float64(phaseSum))
+		}
+		fmt.Println()
+	}
+	if imb := p.Imbalance(); imb.Count() > 0 {
+		fmt.Printf("profile: shard imbalance p50 ≤%.2fx, barrier wait p95 ≤%v (total %v)\n",
+			float64(imb.Quantile(0.50))/1000,
+			d(p.BarrierWait().Quantile(0.95)), d(p.BarrierWait().Sum()))
+	}
+	if cw := p.CheckpointWrite(); cw.Count() > 0 {
+		fmt.Printf("profile: %d checkpoint writes, p50 ≤%v\n", cw.Count(), d(cw.Quantile(0.50)))
+	}
 }
 
 // parseIntList parses "64" or "64,128,256" into positive ints.

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mobilegossip"
+)
+
+// TestEventsMode drives a real run into a session-event file and checks
+// the -events view accepts it (the shared-decoder contract with
+// cmd/runreport) while the legacy trace path rejects it and vice versa.
+func TestEventsMode(t *testing.T) {
+	sim, err := mobilegossip.New(mobilegossip.Config{
+		Algorithm: mobilegossip.AlgSharedBit, N: 64, K: 8,
+		Topology: mobilegossip.Topology{Kind: mobilegossip.MobileWaypoint},
+		Tau:      1, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := mobilegossip.NewJSONLSink(sim.Bus(), f, mobilegossip.EventFilter{}, 1<<16)
+	if _, err := sim.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Silence the tables; run() prints to stdout.
+	old := os.Stdout
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = null
+	defer func() { os.Stdout = old; null.Close() }()
+
+	if err := run([]string{"-events", path}); err != nil {
+		t.Fatalf("-events on a session-event file: %v", err)
+	}
+	if err := run([]string{"-events", "-every", "10", path}); err != nil {
+		t.Fatalf("-events -every 10: %v", err)
+	}
+	if err := run([]string{path}); err == nil {
+		t.Fatal("legacy trace mode accepted a session-event file")
+	}
+
+	empty := filepath.Join(t.TempDir(), "empty.jsonl")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-events", empty}); err == nil {
+		t.Fatal("-events on an empty file succeeded, want error")
+	}
+}

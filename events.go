@@ -39,6 +39,7 @@ const (
 	EventCheckpointWritten = events.TypeCheckpointWritten
 	EventSessionCancel     = events.TypeSessionCancel
 	EventSessionEnd        = events.TypeSessionEnd
+	EventRoundProfile      = events.TypeRoundProfile
 )
 
 // EventSchema is the wire-format version stamped on serialized events.

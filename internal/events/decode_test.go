@@ -1,0 +1,102 @@
+package events
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestUnmarshalEventRoundTrip pushes every event type through
+// AppendJSON → UnmarshalEvent and requires the struct to survive intact.
+func TestUnmarshalEventRoundTrip(t *testing.T) {
+	evs := []Event{
+		{Type: TypeSessionStart, Round: 0, Potential: 56, N: 8, K: 8,
+			Algorithm: "sharedbit", Topology: `regular(d=4, τ=1) "quoted\`},
+		{Type: TypeCheckpointResumed, Round: 40, Potential: 31},
+		{Type: TypeChurnApplied, Round: 41, EdgesAdded: 3, EdgesRemoved: 2},
+		{Type: TypeAdversaryEpoch, Round: 41, Epoch: 5},
+		{Type: TypeRoundCompleted, Round: 41, Potential: 30, Connections: 4,
+			Proposals: 6, ControlBits: 12, TokensMoved: 1, EdgesAdded: 3,
+			EdgesRemoved: 2, Done: true},
+		{Type: TypeCheckpointWritten, Round: 41, Potential: 30, WriteNanos: 12345},
+		{Type: TypeSessionCancel, Round: 41, Potential: 30},
+		{Type: TypeRoundProfile, Round: 41, RoundNanos: 52000, ChurnNanos: 2000,
+			ProposalNanos: 30000, ExchangeNanos: 15000, ReductionNanos: 4000,
+			Workers: 4, ImbalanceMilli: 1250, BarrierNanos: 9000, Health: "converging"},
+		{Type: TypeSessionEnd, Round: 77, Potential: 0, Solved: true,
+			Connections: 300, Proposals: 450, ControlBits: 900, TokensMoved: 56},
+	}
+	for _, want := range evs {
+		line := want.AppendJSON(nil)
+		got, err := UnmarshalEvent(line)
+		if err != nil {
+			t.Fatalf("%v: %v\nline: %s", want.Type, err, line)
+		}
+		if got != want {
+			t.Errorf("%v round trip:\n got %+v\nwant %+v", want.Type, got, want)
+		}
+	}
+}
+
+// TestUnmarshalEventAcceptsV1 pins the reader's backward-compatibility
+// promise: schema-1 lines (no timing fields) decode without error.
+func TestUnmarshalEventAcceptsV1(t *testing.T) {
+	lines := []string{
+		`{"v":1,"type":"session_start","round":0,"potential":56,"n":8,"k":8,"algorithm":"sharedbit","topology":"ring"}`,
+		`{"v":1,"type":"checkpoint_written","round":41,"potential":30}`,
+		`{"v":1,"type":"round_completed","round":41,"potential":30,"connections":4,"proposals":6,"control_bits":12,"tokens_moved":1,"edges_added":0,"edges_removed":0,"done":false}`,
+	}
+	for _, line := range lines {
+		ev, err := UnmarshalEvent([]byte(line))
+		if err != nil {
+			t.Fatalf("v1 line rejected: %v\n%s", err, line)
+		}
+		if ev.WriteNanos != 0 || ev.RoundNanos != 0 {
+			t.Fatalf("v1 line grew timing data: %+v", ev)
+		}
+	}
+}
+
+func TestUnmarshalEventRejects(t *testing.T) {
+	cases := []string{
+		`{"v":3,"type":"round_completed","round":1}`, // future schema
+		`{"v":0,"type":"round_completed","round":1}`, // below range
+		`{"v":2,"type":"warp_drive","round":1}`,      // unknown type
+		`{not json`,
+	}
+	for _, line := range cases {
+		if _, err := UnmarshalEvent([]byte(line)); err == nil {
+			t.Errorf("accepted %s", line)
+		}
+	}
+}
+
+func TestReadAll(t *testing.T) {
+	var sb strings.Builder
+	want := []Event{
+		{Type: TypeSessionStart, N: 4, K: 2, Potential: 6, Algorithm: "a", Topology: "t"},
+		{Type: TypeRoundCompleted, Round: 1, Potential: 3},
+		{Type: TypeSessionEnd, Round: 1, Potential: 3},
+	}
+	for _, ev := range want {
+		sb.Write(ev.AppendJSON(nil))
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("\n") // blank lines are skipped
+	got, err := ReadAll(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("ReadAll returned %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+
+	_, err = ReadAll(strings.NewReader("{\"v\":2,\"type\":\"session_end\",\"round\":1}\nnot json\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("ReadAll error = %v, want line-2 failure", err)
+	}
+}

@@ -8,9 +8,16 @@ import (
 
 // Schema is the wire-format version stamped on every serialized event
 // (the "v" field of the JSONL encoding). Bump it when the meaning or
-// encoding of an existing field changes; adding fields is backward
-// compatible and does not bump the schema.
-const Schema = 1
+// encoding of an existing field changes or a new event type appears;
+// adding fields to an existing type is backward compatible and does not
+// bump the schema. Readers (UnmarshalEvent) accept every version from 1
+// through Schema.
+//
+// Version history:
+//
+//	1 — the PR 7 taxonomy: session_start through session_end.
+//	2 — round_profile event; write_ns on checkpoint_written.
+const Schema = 2
 
 // Type identifies one kind of session event. The full taxonomy — which
 // fields each type carries and where it is emitted — is tabulated in
@@ -45,6 +52,12 @@ const (
 	// TypeSessionEnd fires once, when the run is over (objective reached
 	// or MaxRounds exhausted), with the run totals.
 	TypeSessionEnd
+	// TypeRoundProfile fires after TypeRoundCompleted on profiled
+	// sessions (Config.Profile) with the round's timing breakdown:
+	// wall time, per-phase spans, shard imbalance, barrier wait, and the
+	// stall detector's health verdict. Schema 2; appended after the v1
+	// types so their wire numbers are unchanged.
+	TypeRoundProfile
 
 	numTypes
 )
@@ -58,6 +71,7 @@ var typeNames = [numTypes]string{
 	TypeCheckpointWritten: "checkpoint_written",
 	TypeSessionCancel:     "session_cancel",
 	TypeSessionEnd:        "session_end",
+	TypeRoundProfile:      "round_profile",
 }
 
 // Types enumerates every event type, in declaration (lifecycle) order.
@@ -140,6 +154,27 @@ type Event struct {
 	// Epoch is the adversary perturbation epoch just entered
 	// (TypeAdversaryEpoch).
 	Epoch int
+
+	// Round timing (TypeRoundProfile; schema 2). RoundNanos is the
+	// round's wall time; the four phase fields break it down (see
+	// internal/profile.Phase); Workers is the shard count the round ran
+	// with; ImbalanceMilli is max/mean shard compute time in thousandths
+	// and BarrierNanos the total barrier wait (both 0 when Workers ≤ 1).
+	RoundNanos     int64
+	ChurnNanos     int64
+	ProposalNanos  int64
+	ExchangeNanos  int64
+	ReductionNanos int64
+	Workers        int
+	ImbalanceMilli int64
+	BarrierNanos   int64
+	// Health is the stall detector's verdict after this round
+	// (TypeRoundProfile): "converging", "plateaued" or "stalled".
+	Health string
+
+	// WriteNanos is the checkpoint serialization wall time
+	// (TypeCheckpointWritten; schema 2).
+	WriteNanos int64
 }
 
 // Filter selects a subset of events: a type allow-list (empty = every
@@ -192,8 +227,11 @@ func (ev Event) AppendJSON(buf []byte) []byte {
 		buf = appendIntField(buf, "k", int64(ev.K))
 		buf = appendStringField(buf, "algorithm", ev.Algorithm)
 		buf = appendStringField(buf, "topology", ev.Topology)
-	case TypeCheckpointResumed, TypeCheckpointWritten, TypeSessionCancel:
+	case TypeCheckpointResumed, TypeSessionCancel:
 		buf = appendIntField(buf, "potential", int64(ev.Potential))
+	case TypeCheckpointWritten:
+		buf = appendIntField(buf, "potential", int64(ev.Potential))
+		buf = appendIntField(buf, "write_ns", ev.WriteNanos)
 	case TypeRoundCompleted:
 		buf = appendIntField(buf, "potential", int64(ev.Potential))
 		buf = appendIntField(buf, "connections", ev.Connections)
@@ -217,6 +255,16 @@ func (ev Event) AppendJSON(buf []byte) []byte {
 		buf = appendIntField(buf, "tokens_moved", ev.TokensMoved)
 		buf = appendIntField(buf, "edges_added", int64(ev.EdgesAdded))
 		buf = appendIntField(buf, "edges_removed", int64(ev.EdgesRemoved))
+	case TypeRoundProfile:
+		buf = appendIntField(buf, "round_ns", ev.RoundNanos)
+		buf = appendIntField(buf, "churn_ns", ev.ChurnNanos)
+		buf = appendIntField(buf, "proposal_ns", ev.ProposalNanos)
+		buf = appendIntField(buf, "exchange_ns", ev.ExchangeNanos)
+		buf = appendIntField(buf, "reduction_ns", ev.ReductionNanos)
+		buf = appendIntField(buf, "workers", int64(ev.Workers))
+		buf = appendIntField(buf, "imbalance_milli", ev.ImbalanceMilli)
+		buf = appendIntField(buf, "barrier_ns", ev.BarrierNanos)
+		buf = appendStringField(buf, "health", ev.Health)
 	}
 	return append(buf, '}')
 }

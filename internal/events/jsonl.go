@@ -49,8 +49,14 @@ func (s *JSONLSink) drain() {
 		if _, err := s.bw.Write(buf); err != nil {
 			// Record the first failure but keep consuming: stopping here
 			// would turn a dead writer into unbounded queue drops that
-			// misreport as backpressure.
+			// misreport as backpressure. The event is lost either way, so
+			// count it as dropped too — that surfaces the failure promptly
+			// through the bus drop counters (and the
+			// mobilegossip_events_dropped_total metric) instead of only at
+			// Close.
 			s.setErr(err)
+			s.sub.dropped.Add(1)
+			s.sub.bus.dropped.Add(1)
 		} else {
 			s.written.Add(1)
 		}
@@ -73,8 +79,10 @@ func (s *JSONLSink) Close() error {
 // buffered writer so far.
 func (s *JSONLSink) Written() int64 { return s.written.Load() }
 
-// Dropped returns how many matching events were lost to the bounded
-// queue while the writer lagged.
+// Dropped returns how many matching events were lost — to the bounded
+// queue while the writer lagged, or to write failures (each failed write
+// also sets Err, but counts here immediately so a dying writer is
+// visible mid-run, not only at Close).
 func (s *JSONLSink) Dropped() int64 { return s.sub.Dropped() }
 
 // Err returns the first write error encountered, if any.

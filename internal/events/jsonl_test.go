@@ -5,6 +5,7 @@ import (
 	"errors"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestJSONLSinkGolden pins the wire format line by line: one schema-
@@ -25,6 +26,9 @@ func TestJSONLSinkGolden(t *testing.T) {
 		Proposals: 6, ControlBits: 12, TokensMoved: 1, EdgesAdded: 3, EdgesRemoved: 2})
 	b.Publish(Event{Type: TypeCheckpointWritten, Round: 41, Potential: 30})
 	b.Publish(Event{Type: TypeSessionCancel, Round: 41, Potential: 30})
+	b.Publish(Event{Type: TypeRoundProfile, Round: 41, RoundNanos: 52000,
+		ChurnNanos: 2000, ProposalNanos: 30000, ExchangeNanos: 15000, ReductionNanos: 4000,
+		Workers: 4, ImbalanceMilli: 1250, BarrierNanos: 9000, Health: "converging"})
 	b.Publish(Event{Type: TypeSessionEnd, Round: 77, Potential: 0, Solved: true,
 		Connections: 300, Proposals: 450, ControlBits: 900, TokensMoved: 56})
 
@@ -32,14 +36,15 @@ func TestJSONLSinkGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := []string{
-		`{"v":1,"type":"session_start","round":0,"potential":56,"n":8,"k":8,"algorithm":"sharedbit","topology":"regular(d=4, τ=1)"}`,
-		`{"v":1,"type":"checkpoint_resumed","round":40,"potential":31}`,
-		`{"v":1,"type":"churn_applied","round":41,"edges_added":3,"edges_removed":2}`,
-		`{"v":1,"type":"adversary_epoch","round":41,"epoch":5}`,
-		`{"v":1,"type":"round_completed","round":41,"potential":30,"connections":4,"proposals":6,"control_bits":12,"tokens_moved":1,"edges_added":3,"edges_removed":2,"done":false}`,
-		`{"v":1,"type":"checkpoint_written","round":41,"potential":30}`,
-		`{"v":1,"type":"session_cancel","round":41,"potential":30}`,
-		`{"v":1,"type":"session_end","round":77,"potential":0,"solved":true,"connections":300,"proposals":450,"control_bits":900,"tokens_moved":56,"edges_added":0,"edges_removed":0}`,
+		`{"v":2,"type":"session_start","round":0,"potential":56,"n":8,"k":8,"algorithm":"sharedbit","topology":"regular(d=4, τ=1)"}`,
+		`{"v":2,"type":"checkpoint_resumed","round":40,"potential":31}`,
+		`{"v":2,"type":"churn_applied","round":41,"edges_added":3,"edges_removed":2}`,
+		`{"v":2,"type":"adversary_epoch","round":41,"epoch":5}`,
+		`{"v":2,"type":"round_completed","round":41,"potential":30,"connections":4,"proposals":6,"control_bits":12,"tokens_moved":1,"edges_added":3,"edges_removed":2,"done":false}`,
+		`{"v":2,"type":"checkpoint_written","round":41,"potential":30,"write_ns":0}`,
+		`{"v":2,"type":"session_cancel","round":41,"potential":30}`,
+		`{"v":2,"type":"round_profile","round":41,"round_ns":52000,"churn_ns":2000,"proposal_ns":30000,"exchange_ns":15000,"reduction_ns":4000,"workers":4,"imbalance_milli":1250,"barrier_ns":9000,"health":"converging"}`,
+		`{"v":2,"type":"session_end","round":77,"potential":0,"solved":true,"connections":300,"proposals":450,"control_bits":900,"tokens_moved":56,"edges_added":0,"edges_removed":0}`,
 	}
 	got := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
 	if len(got) != len(want) {
@@ -110,5 +115,42 @@ func TestJSONLSinkWriteError(t *testing.T) {
 	}
 	if sink.Written() != 0 {
 		t.Fatalf("Written = %d on a dead writer, want 0", sink.Written())
+	}
+}
+
+// TestJSONLSinkWriteErrorSurfacesPromptly is the regression test for the
+// Close-only error visibility bug: a failing writer must show up on the
+// sink and bus drop counters (the mobilegossip_events_dropped_total
+// path) while the session is still running, without waiting for Close.
+func TestJSONLSinkWriteErrorSurfacesPromptly(t *testing.T) {
+	b := NewBus()
+	sink := &JSONLSink{
+		sub:  b.Subscribe(Filter{}, 16),
+		bw:   bufio.NewWriterSize(&failWriter{n: 0}, 16),
+		done: make(chan struct{}),
+	}
+	go sink.drain()
+
+	const events = 5
+	for r := 1; r <= events; r++ {
+		b.Publish(Event{Type: TypeRoundCompleted, Round: r})
+	}
+	// The drain goroutine is asynchronous; wait for it to consume the
+	// queue, but do NOT call Close — mid-run visibility is the point.
+	deadline := time.Now().Add(5 * time.Second)
+	for sink.Dropped() < events {
+		if time.Now().After(deadline) {
+			t.Fatalf("Dropped = %d after 5s, want %d before Close", sink.Dropped(), events)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if b.Dropped() < events {
+		t.Fatalf("bus Dropped = %d, want >= %d (metrics path)", b.Dropped(), events)
+	}
+	if err := sink.Err(); err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("Err() = %v mid-run, want the write error", err)
+	}
+	if err := sink.Close(); err == nil {
+		t.Fatal("Close() lost the write error")
 	}
 }

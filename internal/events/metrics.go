@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"mobilegossip/internal/profile"
 )
 
 // Collector aggregates session events into Prometheus-style metrics: a
@@ -41,6 +43,16 @@ type Collector struct {
 
 	firstRound atomic.Int64 // unix nanos of the first observed round
 	lastRound  atomic.Int64 // unix nanos of the latest observed round
+
+	// Timing histograms, fed by round_profile and checkpoint_written
+	// events (empty — and omitted from the exposition — on unprofiled
+	// sessions). Lock-free like the counters above.
+	roundLatency profile.Histogram // round wall time, ns
+	phaseLatency [profile.NumPhases]profile.Histogram
+	imbalance    profile.Histogram // max/mean shard compute, thousandths
+	barrierWait  profile.Histogram // per-round barrier wait, ns
+	ckptWrite    profile.Histogram // checkpoint serialization, ns
+	health       atomic.Int64      // latest profile.Health verdict
 
 	mu    sync.Mutex
 	buses []*Bus // attached buses, for the dropped-events counter
@@ -90,6 +102,22 @@ func (c *Collector) Observe(ev Event) {
 		c.advEpochs.Add(1)
 	case TypeCheckpointWritten:
 		c.checkpoints.Add(1)
+		if ev.WriteNanos > 0 {
+			c.ckptWrite.Record(ev.WriteNanos)
+		}
+	case TypeRoundProfile:
+		c.roundLatency.Record(ev.RoundNanos)
+		c.phaseLatency[profile.PhaseChurn].Record(ev.ChurnNanos)
+		c.phaseLatency[profile.PhaseProposal].Record(ev.ProposalNanos)
+		c.phaseLatency[profile.PhaseExchange].Record(ev.ExchangeNanos)
+		c.phaseLatency[profile.PhaseReduction].Record(ev.ReductionNanos)
+		if ev.Workers > 1 {
+			c.imbalance.Record(ev.ImbalanceMilli)
+			c.barrierWait.Record(ev.BarrierNanos)
+		}
+		if h, err := profile.ParseHealth(ev.Health); err == nil {
+			c.health.Store(int64(h))
+		}
 	case TypeSessionCancel:
 		c.sessionsCanceled.Add(1)
 	case TypeSessionEnd:
@@ -153,7 +181,15 @@ type metricRow struct {
 	value            float64
 }
 
-// WriteTo renders the metrics in the Prometheus text exposition format.
+// Health returns the stall detector's latest verdict as observed from
+// round_profile events (HealthUnknown on unprofiled sessions).
+func (c *Collector) Health() profile.Health {
+	return profile.Health(c.health.Load())
+}
+
+// WriteTo renders the metrics in the Prometheus text exposition format:
+// the counter/gauge rows, then — once a profiled session has fed them —
+// the timing histograms and the session health gauge.
 func (c *Collector) WriteTo(w io.Writer) (int64, error) {
 	var total int64
 	for _, m := range c.metricRows() {
@@ -165,7 +201,84 @@ func (c *Collector) WriteTo(w io.Writer) (int64, error) {
 			return total, err
 		}
 	}
+	hists := []struct {
+		name, help string
+		h          *profile.Histogram
+		scale      float64 // divides recorded values into exposition units
+	}{
+		{"mobilegossip_round_latency_seconds", "Wall-clock time per simulation round.", &c.roundLatency, 1e9},
+		{"mobilegossip_phase_churn_seconds", "Per-round wall-clock time applying topology churn.", &c.phaseLatency[profile.PhaseChurn], 1e9},
+		{"mobilegossip_phase_proposal_seconds", "Per-round wall-clock time in the proposal machinery (tag, decide, deliver, accept).", &c.phaseLatency[profile.PhaseProposal], 1e9},
+		{"mobilegossip_phase_exchange_seconds", "Per-round wall-clock time exchanging over accepted connections.", &c.phaseLatency[profile.PhaseExchange], 1e9},
+		{"mobilegossip_phase_reduction_seconds", "Per-round wall-clock time in sequential cross-shard reductions.", &c.phaseLatency[profile.PhaseReduction], 1e9},
+		{"mobilegossip_shard_imbalance_ratio", "Max over mean shard compute time per sharded round (1 = balanced).", &c.imbalance, 1e3},
+		{"mobilegossip_barrier_wait_seconds", "Total per-round time shards spent waiting at phase barriers.", &c.barrierWait, 1e9},
+		{"mobilegossip_checkpoint_write_seconds", "Checkpoint serialization wall-clock time.", &c.ckptWrite, 1e9},
+	}
+	for _, hm := range hists {
+		n, err := writeHistogram(w, hm.name, hm.help, hm.h, hm.scale)
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	if h := c.Health(); h != profile.HealthUnknown {
+		const healthName = "mobilegossip_session_health"
+		n, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n",
+			healthName,
+			"Stall-detector verdict for the current session (1 on the active state).",
+			healthName)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+		for _, s := range []profile.Health{profile.HealthConverging, profile.HealthPlateaued, profile.HealthStalled} {
+			v := 0
+			if s == h {
+				v = 1
+			}
+			n, err := fmt.Fprintf(w, "mobilegossip_session_health{state=%q} %d\n", s.String(), v)
+			total += int64(n)
+			if err != nil {
+				return total, err
+			}
+		}
+	}
 	return total, nil
+}
+
+// writeHistogram renders one log-bucketed histogram in the Prometheus
+// text format (cumulative _bucket rows with le bounds in exposition
+// units, then _sum and _count). Empty histograms are omitted entirely so
+// unprofiled sessions keep their scrape output unchanged from schema 1.
+func writeHistogram(w io.Writer, name, help string, h *profile.Histogram, scale float64) (int64, error) {
+	snap := h.Snapshot()
+	if snap.Count == 0 {
+		return 0, nil
+	}
+	var total int64
+	n, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	total += int64(n)
+	if err != nil {
+		return total, err
+	}
+	maxB := snap.MaxBucket()
+	var cum int64
+	for i := 0; i <= maxB; i++ {
+		cum += snap.Counts[i]
+		le := strconv.FormatFloat(float64(profile.BucketBound(i))/scale, 'g', -1, 64)
+		n, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	n, err = fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
+		name, snap.Count,
+		name, strconv.FormatFloat(float64(snap.Sum)/scale, 'g', -1, 64),
+		name, snap.Count)
+	total += int64(n)
+	return total, err
 }
 
 // ServeHTTP implements http.Handler: a GET returns the WriteTo output

@@ -55,7 +55,7 @@ func parseExposition(t *testing.T, r io.Reader) map[string]float64 {
 			lastHelp = strings.SplitN(line[len("# HELP "):], " ", 2)[0]
 		case strings.HasPrefix(line, "# TYPE "):
 			parts := strings.Fields(line[len("# TYPE "):])
-			if len(parts) != 2 || (parts[1] != "counter" && parts[1] != "gauge") {
+			if len(parts) != 2 || (parts[1] != "counter" && parts[1] != "gauge" && parts[1] != "histogram") {
 				t.Fatalf("malformed TYPE line: %q", line)
 			}
 			lastType = parts[0]
@@ -69,7 +69,17 @@ func parseExposition(t *testing.T, r io.Reader) map[string]float64 {
 			if len(parts) != 2 {
 				t.Fatalf("malformed sample line: %q", line)
 			}
-			if parts[0] != lastType {
+			// Strip any label set; histogram samples append _bucket/_sum/
+			// _count to the family name.
+			name := parts[0]
+			if i := strings.IndexByte(name, '{'); i >= 0 {
+				name = name[:i]
+			}
+			base := name
+			for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+				base = strings.TrimSuffix(base, suffix)
+			}
+			if name != lastType && base != lastType {
 				t.Fatalf("sample %q not preceded by its TYPE (saw %q)", parts[0], lastType)
 			}
 			v, err := strconv.ParseFloat(parts[1], 64)
@@ -130,6 +140,81 @@ func TestCollectorWriteTo(t *testing.T) {
 	}
 	if rps := c.RoundsPerSecond(); rps <= 0 {
 		t.Errorf("RoundsPerSecond = %v after 4 rounds, want > 0", rps)
+	}
+}
+
+// TestCollectorProfileExposition feeds round_profile and timed
+// checkpoint events and checks the histogram + health rendering: an
+// unprofiled collector must emit none of it (the schema-1 scrape shape),
+// a profiled one must emit well-formed cumulative histograms and a
+// state-labeled health gauge.
+func TestCollectorProfileExposition(t *testing.T) {
+	c := NewCollector()
+	var out strings.Builder
+	if _, err := c.WriteTo(&out); err != nil {
+		t.Fatal(err)
+	}
+	for _, forbidden := range []string{"_latency_seconds", "session_health", "_bucket"} {
+		if strings.Contains(out.String(), forbidden) {
+			t.Fatalf("unprofiled exposition contains %q:\n%s", forbidden, out.String())
+		}
+	}
+
+	c.Observe(Event{Type: TypeRoundProfile, Round: 1, RoundNanos: 50_000,
+		ChurnNanos: 1000, ProposalNanos: 30_000, ExchangeNanos: 15_000,
+		ReductionNanos: 2000, Workers: 4, ImbalanceMilli: 1500, BarrierNanos: 8000,
+		Health: "converging"})
+	c.Observe(Event{Type: TypeRoundProfile, Round: 2, RoundNanos: 70_000,
+		ChurnNanos: 1000, ProposalNanos: 40_000, ExchangeNanos: 25_000,
+		ReductionNanos: 3000, Workers: 4, ImbalanceMilli: 1200, BarrierNanos: 9000,
+		Health: "plateaued"})
+	c.Observe(Event{Type: TypeCheckpointWritten, Round: 2, WriteNanos: 1_000_000})
+
+	out.Reset()
+	if _, err := c.WriteTo(&out); err != nil {
+		t.Fatal(err)
+	}
+	vals := parseExposition(t, strings.NewReader(out.String()))
+
+	if got := vals[`mobilegossip_round_latency_seconds_bucket{le="+Inf"}`]; got != 2 {
+		t.Errorf("round latency +Inf bucket = %v, want 2", got)
+	}
+	if got := vals["mobilegossip_round_latency_seconds_count"]; got != 2 {
+		t.Errorf("round latency count = %v, want 2", got)
+	}
+	if got := vals["mobilegossip_round_latency_seconds_sum"]; got != 120_000/1e9 {
+		t.Errorf("round latency sum = %v, want %v", got, 120_000/1e9)
+	}
+	if got := vals["mobilegossip_checkpoint_write_seconds_count"]; got != 1 {
+		t.Errorf("checkpoint write count = %v, want 1", got)
+	}
+	if got := vals["mobilegossip_shard_imbalance_ratio_count"]; got != 2 {
+		t.Errorf("imbalance count = %v, want 2", got)
+	}
+	if got := vals[`mobilegossip_session_health{state="plateaued"}`]; got != 1 {
+		t.Errorf("health{plateaued} = %v, want 1", got)
+	}
+	if got := vals[`mobilegossip_session_health{state="converging"}`]; got != 0 {
+		t.Errorf("health{converging} = %v, want 0", got)
+	}
+	if c.Health().String() != "plateaued" {
+		t.Errorf("Health() = %v, want plateaued", c.Health())
+	}
+
+	// Cumulative bucket counts must be monotone and end at the count.
+	var lastCum float64
+	for i := 0; i < 65; i++ {
+		key := "mobilegossip_round_latency_seconds_bucket{le=\"" +
+			strconv.FormatFloat(float64((int64(1)<<uint(i))-1)/1e9, 'g', -1, 64) + "\"}"
+		if v, ok := vals[key]; ok {
+			if v < lastCum {
+				t.Fatalf("bucket %s = %v below previous %v", key, v, lastCum)
+			}
+			lastCum = v
+		}
+	}
+	if lastCum != 2 {
+		t.Errorf("largest bucket cumulative = %v, want 2", lastCum)
 	}
 }
 

@@ -21,10 +21,12 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
+	"time"
 
 	"mobilegossip/internal/ckpt"
 	"mobilegossip/internal/dyngraph"
 	"mobilegossip/internal/prand"
+	"mobilegossip/internal/profile"
 )
 
 // NodeID identifies a node; nodes are 0..n-1.
@@ -232,6 +234,18 @@ type Engine struct {
 	shardProps []int64      // per-shard proposal counts
 	shardBase  []int32      // per-shard inbox base offsets (len shards+1)
 	shardErrs  []error      // per-shard first tag-width violation
+
+	// Profiling sidecar (nil = off; see internal/profile and DESIGN.md
+	// §13). Timing is read-only: it draws no randomness and mutates no
+	// simulation state, so profiled and unprofiled runs are
+	// byte-identical. profShardNs accumulates each shard's compute time
+	// over the round's node-sharded phases (written by exactly one shard
+	// each, like shardErrs); profParNs the wall time of those parallel
+	// phases; profRedNs the sequential cross-shard reductions.
+	prof        *profile.Recorder
+	profShardNs []int64
+	profParNs   int64
+	profRedNs   int64
 }
 
 // ErrBudgetExceeded is returned when any connection exceeded its
@@ -316,6 +330,16 @@ func (e *Engine) SetWorkers(w int) {
 // Workers returns the resolved shard-worker count (≥ 1).
 func (e *Engine) Workers() int { return e.workers }
 
+// SetProfiler attaches (nil detaches) a timing recorder at a round
+// boundary. Profiling is a read-only sidecar: it affects wall-clock
+// only, never results or checkpoints, so — like SetWorkers — it is
+// valid to toggle mid-run or after a restore.
+func (e *Engine) SetProfiler(p *profile.Recorder) { e.prof = p }
+
+// Profiler returns the attached timing recorder (nil when profiling is
+// off).
+func (e *Engine) Profiler() *profile.Recorder { return e.prof }
+
 // start runs the one-time pre-round-1 protocol check (an already-Done
 // protocol completes the run in zero rounds, as the closed loop did).
 // Restored engines skip it: their checkpoint recorded a started run, and
@@ -369,6 +393,21 @@ func (e *Engine) Step() (RoundStats, error) {
 	r := e.round + 1
 	stats := RoundStats{Round: r}
 
+	// Profiling marks (no-ops when prof is nil). Timing reads the clock
+	// and writes profiling scratch only, so the simulated round below is
+	// identical with or without it.
+	prof := e.prof
+	var tRound, tPhase time.Time
+	var phaseNs [profile.NumPhases]int64
+	if prof != nil {
+		for i := range e.profShardNs {
+			e.profShardNs[i] = 0
+		}
+		e.profParNs, e.profRedNs = 0, 0
+		tRound = time.Now()
+		tPhase = tRound
+	}
+
 	g := e.dyn.At(r)
 	if e.deltaDyn != nil {
 		d := e.deltaDyn.DeltaFor(r)
@@ -376,6 +415,11 @@ func (e *Engine) Step() (RoundStats, error) {
 		stats.EdgesRemoved = len(d.Removed)
 		e.res.EdgesAdded += int64(stats.EdgesAdded)
 		e.res.EdgesRemoved += int64(stats.EdgesRemoved)
+	}
+	if prof != nil {
+		now := time.Now()
+		phaseNs[profile.PhaseChurn] = now.Sub(tPhase).Nanoseconds()
+		tPhase = now
 	}
 
 	// The sharded backend partitions [0, n) into contiguous shards and runs
@@ -473,6 +517,14 @@ func (e *Engine) Step() (RoundStats, error) {
 		}
 	}
 	e.pairs = pairs[:0] // keep any growth for the next round
+	if prof != nil {
+		now := time.Now()
+		// The sequential cross-shard reductions accumulated into
+		// profRedNs are attributed to the reduction phase, not proposal.
+		phaseNs[profile.PhaseProposal] = now.Sub(tPhase).Nanoseconds() - e.profRedNs
+		phaseNs[profile.PhaseReduction] = e.profRedNs
+		tPhase = now
+	}
 
 	// Communicate over each accepted connection; the Conn records live
 	// in the engine's reusable slice.
@@ -509,6 +561,9 @@ func (e *Engine) Step() (RoundStats, error) {
 	e.res.Proposals += int64(stats.Proposals)
 	e.res.ControlBits += stats.ControlBits
 	e.res.TokensMoved += stats.TokensMoved
+	if prof != nil {
+		phaseNs[profile.PhaseExchange] = time.Since(tPhase).Nanoseconds()
+	}
 
 	e.round = r
 	e.res.Rounds = r
@@ -520,7 +575,43 @@ func (e *Engine) Step() (RoundStats, error) {
 		e.res.Completed = true
 		stats.Done = true
 	}
+	if prof != nil {
+		w := 1
+		if cuts != nil {
+			w = len(cuts) - 1
+		}
+		e.recordProfile(r, time.Since(tRound).Nanoseconds(), phaseNs, w)
+	}
 	return stats, nil
+}
+
+// recordProfile folds the finished round's timing into the recorder,
+// summarizing per-shard compute and barrier wait when the round ran
+// sharded. It writes only profiling state and never allocates.
+func (e *Engine) recordProfile(r int, totalNs int64, phaseNs [profile.NumPhases]int64, workers int) {
+	rp := profile.RoundProfile{Round: r, TotalNs: totalNs, PhaseNs: phaseNs, Workers: workers}
+	if workers > 1 && workers <= len(e.profShardNs) {
+		minNs, maxNs, sum := e.profShardNs[0], e.profShardNs[0], int64(0)
+		for s := 0; s < workers; s++ {
+			ns := e.profShardNs[s]
+			sum += ns
+			if ns > maxNs {
+				maxNs = ns
+			}
+			if ns < minNs {
+				minNs = ns
+			}
+		}
+		rp.MaxShardNs, rp.MinShardNs = maxNs, minNs
+		rp.MeanShardNs = sum / int64(workers)
+		// Total time shards spent waiting at phase barriers: each of the
+		// workers goroutines was live for the parallel-phase wall time,
+		// and whatever it did not spend computing it spent waiting.
+		if wait := int64(workers)*e.profParNs - sum; wait > 0 {
+			rp.BarrierNs = wait
+		}
+	}
+	e.prof.Record(rp)
 }
 
 // Run executes rounds until the protocol is Done or MaxRounds elapse — the

@@ -34,6 +34,7 @@ package mtm
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"mobilegossip/internal/graph"
 )
@@ -84,6 +85,11 @@ func (e *Engine) ensureShardScratch(w int) {
 	for len(e.shardBase) < w+1 {
 		e.shardBase = append(e.shardBase, 0)
 	}
+	if e.prof != nil {
+		for len(e.profShardNs) < w {
+			e.profShardNs = append(e.profShardNs, 0)
+		}
+	}
 }
 
 // runShards runs fn(s, lo, hi) for every non-empty shard [cuts[s], cuts[s+1])
@@ -115,6 +121,49 @@ func runShards(cuts []int32, fn func(s, lo, hi int)) {
 	wg.Wait()
 }
 
+// runShardsTimed is runShards plus the profiling sidecar: with a recorder
+// attached it accumulates each shard's compute time into profShardNs
+// (each shard writes only its own slot, like shardErrs) and the phase's
+// wall time into profParNs; without one it is exactly runShards. The
+// fan-out loop is duplicated rather than wrapped in a timing closure so
+// profiling adds clock reads but no allocations beyond runShards' own
+// goroutine launches.
+func (e *Engine) runShardsTimed(cuts []int32, fn func(s, lo, hi int)) {
+	if e.prof == nil {
+		runShards(cuts, fn)
+		return
+	}
+	t0 := time.Now()
+	last := -1
+	for s := 0; s+1 < len(cuts); s++ {
+		if cuts[s] < cuts[s+1] {
+			last = s
+		}
+	}
+	if last < 0 {
+		return
+	}
+	var wg sync.WaitGroup
+	for s := 0; s < last; s++ {
+		lo, hi := int(cuts[s]), int(cuts[s+1])
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(s, lo, hi int) {
+			defer wg.Done()
+			ts := time.Now()
+			fn(s, lo, hi)
+			e.profShardNs[s] += time.Since(ts).Nanoseconds()
+		}(s, lo, hi)
+	}
+	ts := time.Now()
+	fn(last, int(cuts[last]), int(cuts[last+1]))
+	e.profShardNs[last] += time.Since(ts).Nanoseconds()
+	wg.Wait()
+	e.profParNs += time.Since(t0).Nanoseconds()
+}
+
 // tagSharded runs the advertise phase shard-parallel. Each shard records its
 // first tag-width violation; the lowest shard's wins, which — because each
 // shard scans ascending — is exactly the lowest-u violation the sequential
@@ -125,7 +174,7 @@ func (e *Engine) tagSharded(r int, cuts []int32) error {
 	for s := 0; s < w; s++ {
 		e.shardErrs[s] = nil
 	}
-	runShards(cuts, func(s, lo, hi int) {
+	e.runShardsTimed(cuts, func(s, lo, hi int) {
 		for u := lo; u < hi; u++ {
 			e.tags[u] = e.proto.Tag(r, u)
 			if e.tags[u]&^e.tagMask != 0 && e.shardErrs[s] == nil {
@@ -147,7 +196,7 @@ func (e *Engine) tagSharded(r int, cuts []int32) error {
 // the complete tag array written before the phase barrier, builds views in
 // its own persistent buffer, and draws only from its own nodes' streams.
 func (e *Engine) decideSharded(r int, g *graph.Graph, tags []uint64, acts []Action, cuts []int32) {
-	runShards(cuts, func(s, lo, hi int) {
+	e.runShardsTimed(cuts, func(s, lo, hi int) {
 		view := e.views[s]
 		for u := lo; u < hi; u++ {
 			view = view[:0]
@@ -175,7 +224,7 @@ func (e *Engine) deliverSharded(g *graph.Graph, acts []Action, cuts []int32, sta
 		e.shardProps[s] = 0
 		e.shardBase[s+1] = 0
 	}
-	runShards(cuts, func(s, lo, hi int) {
+	e.runShardsTimed(cuts, func(s, lo, hi int) {
 		props := int64(0)
 		for u := lo; u < hi; u++ {
 			e.targets[u] = -1
@@ -194,11 +243,18 @@ func (e *Engine) deliverSharded(g *graph.Graph, acts []Action, cuts []int32, sta
 		}
 		e.shardProps[s] = props
 	})
+	var tRed time.Time
+	if e.prof != nil {
+		tRed = time.Now()
+	}
 	for s := 0; s < w; s++ {
 		stats.Proposals += int(e.shardProps[s])
 	}
+	if e.prof != nil {
+		e.profRedNs += time.Since(tRed).Nanoseconds()
+	}
 
-	runShards(cuts, func(s, lo, hi int) {
+	e.runShardsTimed(cuts, func(s, lo, hi int) {
 		for v := lo; v < hi; v++ {
 			e.inCnt[v] = 0
 		}
@@ -212,9 +268,15 @@ func (e *Engine) deliverSharded(g *graph.Graph, acts []Action, cuts []int32, sta
 		}
 		e.shardBase[s+1] = total
 	})
+	if e.prof != nil {
+		tRed = time.Now()
+	}
 	e.shardBase[0] = 0
 	for s := 0; s < w; s++ {
 		e.shardBase[s+1] += e.shardBase[s] // per-shard totals → base offsets
+	}
+	if e.prof != nil {
+		e.profRedNs += time.Since(tRed).Nanoseconds()
 	}
 }
 
@@ -233,7 +295,7 @@ func (e *Engine) acceptSharded(cuts []int32) [][2]int32 {
 	for s := 0; s < w; s++ {
 		e.shardPairs[s] = e.shardPairs[s][:0]
 	}
-	runShards(cuts, func(s, lo, hi int) {
+	e.runShardsTimed(cuts, func(s, lo, hi int) {
 		off := e.shardBase[s]
 		for v := lo; v < hi; v++ {
 			e.inOff[v] = off
@@ -258,9 +320,16 @@ func (e *Engine) acceptSharded(cuts []int32) [][2]int32 {
 		}
 		e.shardPairs[s] = pairs
 	})
+	var tRed time.Time
+	if e.prof != nil {
+		tRed = time.Now()
+	}
 	merged := e.pairs[:0]
 	for s := 0; s < w; s++ {
 		merged = append(merged, e.shardPairs[s]...)
+	}
+	if e.prof != nil {
+		e.profRedNs += time.Since(tRed).Nanoseconds()
 	}
 	return merged
 }

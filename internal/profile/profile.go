@@ -1,0 +1,168 @@
+// Package profile is the engine's deterministic-safe profiling layer: a
+// read-only timing sidecar that the sharded round engine (internal/mtm)
+// feeds with per-phase and per-shard wall-clock spans when profiling is
+// enabled, aggregated here into log-bucketed histograms and a
+// convergence/stall health signal.
+//
+// The contract (DESIGN.md §13): profiling never affects simulation
+// output — it draws no randomness, mutates no engine state, and its
+// measurements flow strictly outward (events, metrics, reports). With
+// profiling off the engine pays a handful of predicted nil checks per
+// round and nothing else; with it on, the cost is clock reads plus
+// O(shards) scratch allocated once, amortized to zero in steady state —
+// the engine's 0 allocs/op contract holds either way.
+package profile
+
+import "sync"
+
+// Phase identifies one timed segment of an engine round, in execution
+// order.
+type Phase uint8
+
+// The engine's timed round phases.
+const (
+	// PhaseChurn: advancing the topology schedule to the round's graph
+	// and applying/accounting its edge delta.
+	PhaseChurn Phase = iota
+	// PhaseProposal: the proposal machinery — advertise tags, scan and
+	// decide, deliver proposals into the flat inbox, draw acceptances.
+	PhaseProposal
+	// PhaseExchange: pairwise communication over the accepted
+	// connections plus the per-connection meter fold.
+	PhaseExchange
+	// PhaseReduction: the sequential cross-shard reductions of the
+	// sharded backend (proposal-count prefix sums, inbox base offsets,
+	// pair-list concatenation); 0 on the sequential path.
+	PhaseReduction
+
+	NumPhases
+)
+
+var phaseNames = [NumPhases]string{
+	PhaseChurn:     "churn",
+	PhaseProposal:  "proposal",
+	PhaseExchange:  "exchange",
+	PhaseReduction: "reduction",
+}
+
+// String returns the phase's wire name (used in event fields and metric
+// names).
+func (p Phase) String() string {
+	if p < NumPhases {
+		return phaseNames[p]
+	}
+	return "unknown"
+}
+
+// Phases enumerates every phase in execution order.
+func Phases() []Phase {
+	return []Phase{PhaseChurn, PhaseProposal, PhaseExchange, PhaseReduction}
+}
+
+// RoundProfile is the timing record of one executed round. It is a flat
+// value struct (no pointers), so the engine hands it over and the
+// session turns it into an event without heap traffic.
+type RoundProfile struct {
+	// Round is the 1-based round the record describes.
+	Round int
+	// TotalNs is the round's wall-clock time in nanoseconds.
+	TotalNs int64
+	// PhaseNs breaks TotalNs down by Phase (the remainder — bookkeeping
+	// outside any phase — is not attributed).
+	PhaseNs [NumPhases]int64
+	// Workers is the shard count the round ran with (1 = sequential).
+	Workers int
+	// MaxShardNs, MinShardNs and MeanShardNs summarize per-shard compute
+	// time over the node-sharded phases (0 when Workers == 1).
+	MaxShardNs  int64
+	MinShardNs  int64
+	MeanShardNs int64
+	// BarrierNs totals the time shards spent waiting at phase barriers
+	// for slower siblings: workers × parallel-phase wall − Σ shard
+	// compute (0 when Workers == 1).
+	BarrierNs int64
+}
+
+// ImbalanceMilli returns the shard imbalance ratio — max over mean shard
+// compute time — in thousandths (1000 = perfectly balanced; 0 when the
+// round ran sequentially or shards did no measurable work).
+func (rp *RoundProfile) ImbalanceMilli() int64 {
+	if rp.Workers <= 1 || rp.MeanShardNs <= 0 {
+		return 0
+	}
+	return rp.MaxShardNs * 1000 / rp.MeanShardNs
+}
+
+// Recorder aggregates RoundProfile records into histograms and retains
+// the latest record. The engine calls Record once per round from the
+// stepping goroutine; every read-side method is safe to call
+// concurrently (the /metrics scrape path), so a recorder can be
+// inspected live mid-run.
+type Recorder struct {
+	roundLatency Histogram
+	phaseLatency [NumPhases]Histogram
+	imbalance    Histogram // shard imbalance, thousandths
+	barrier      Histogram // per-round total barrier wait, ns
+	ckptWrite    Histogram // checkpoint serialization, ns
+
+	mu   sync.Mutex
+	last RoundProfile
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Record folds one round's timing into the histograms and retains it as
+// the latest record. It never allocates.
+func (r *Recorder) Record(rp RoundProfile) {
+	r.roundLatency.Record(rp.TotalNs)
+	for p := Phase(0); p < NumPhases; p++ {
+		r.phaseLatency[p].Record(rp.PhaseNs[p])
+	}
+	if rp.Workers > 1 {
+		r.imbalance.Record(rp.ImbalanceMilli())
+		r.barrier.Record(rp.BarrierNs)
+	}
+	r.mu.Lock()
+	r.last = rp
+	r.mu.Unlock()
+}
+
+// RecordCheckpointWrite folds one checkpoint serialization time (ns)
+// into the checkpoint-write histogram.
+func (r *Recorder) RecordCheckpointWrite(ns int64) { r.ckptWrite.Record(ns) }
+
+// Last returns the most recent round's record (the zero RoundProfile
+// before any round ran).
+func (r *Recorder) Last() RoundProfile {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.last
+}
+
+// Rounds returns the number of rounds recorded.
+func (r *Recorder) Rounds() int64 { return r.roundLatency.Count() }
+
+// RoundLatency returns the round wall-time histogram (ns).
+func (r *Recorder) RoundLatency() *Histogram { return &r.roundLatency }
+
+// PhaseLatency returns the per-round wall-time histogram (ns) of one
+// phase.
+func (r *Recorder) PhaseLatency(p Phase) *Histogram {
+	if p >= NumPhases {
+		p = 0
+	}
+	return &r.phaseLatency[p]
+}
+
+// Imbalance returns the shard-imbalance histogram (max/mean shard
+// compute, thousandths; only sharded rounds record into it).
+func (r *Recorder) Imbalance() *Histogram { return &r.imbalance }
+
+// BarrierWait returns the per-round total barrier-wait histogram (ns;
+// only sharded rounds record into it).
+func (r *Recorder) BarrierWait() *Histogram { return &r.barrier }
+
+// CheckpointWrite returns the checkpoint serialization-time histogram
+// (ns).
+func (r *Recorder) CheckpointWrite() *Histogram { return &r.ckptWrite }

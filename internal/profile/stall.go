@@ -1,0 +1,137 @@
+package profile
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+)
+
+// Health is a session's convergence state as judged by the stall
+// detector from the potential curve φ(r).
+type Health uint8
+
+// The session health states. Unknown means no detector observed the run
+// (profiling off, or no round completed yet).
+const (
+	HealthUnknown Health = iota
+	// HealthConverging: φ decreased within the last window rounds (or
+	// reached 0 — the objective).
+	HealthConverging
+	// HealthPlateaued: φ has not decreased for at least window rounds
+	// but fewer than stallAfter.
+	HealthPlateaued
+	// HealthStalled: φ has not decreased for at least stallAfter rounds.
+	HealthStalled
+
+	numHealth
+)
+
+var healthNames = [numHealth]string{
+	HealthUnknown:    "unknown",
+	HealthConverging: "converging",
+	HealthPlateaued:  "plateaued",
+	HealthStalled:    "stalled",
+}
+
+// String returns the state's wire name (the "health" field of the
+// round_profile event).
+func (h Health) String() string {
+	if h < numHealth {
+		return healthNames[h]
+	}
+	return fmt.Sprintf("Health(%d)", uint8(h))
+}
+
+// ParseHealth resolves a wire name back to its Health.
+func ParseHealth(s string) (Health, error) {
+	for h := Health(0); h < numHealth; h++ {
+		if healthNames[h] == s {
+			return h, nil
+		}
+	}
+	names := make([]string, 0, numHealth)
+	for h := Health(0); h < numHealth; h++ {
+		names = append(names, healthNames[h])
+	}
+	return 0, fmt.Errorf("profile: unknown health state %q (valid: %s)",
+		s, strings.Join(names, ", "))
+}
+
+// Default stall-detector thresholds, in rounds.
+const (
+	// DefaultStallWindow is how long φ may sit flat before the session
+	// is considered plateaued.
+	DefaultStallWindow = 64
+	// DefaultStallAfter is how long φ may sit flat before the session is
+	// considered stalled (4 × the plateau window).
+	DefaultStallAfter = 4 * DefaultStallWindow
+)
+
+// StallDetector watches the potential curve and classifies the session's
+// convergence. It is a pure function of the observed (round, φ) sequence
+// — no wall clock, no randomness — so its verdicts are deterministic and
+// reproducible from a recorded event stream (cmd/runreport re-runs one
+// over a JSONL file and reaches the same verdict as the live session).
+//
+// Semantics: a round where φ drops below its best-so-far value counts as
+// progress. Let gap be the rounds since the last progress (or since the
+// first observation). The session is converging while gap < window,
+// plateaued while window ≤ gap < stallAfter, and stalled once
+// gap ≥ stallAfter. φ = 0 (objective reached) is always converging.
+//
+// Observe must be driven from one goroutine (the stepping loop); Health
+// is an atomic read, safe from any goroutine at any time (the /metrics
+// scrape path reads it live).
+type StallDetector struct {
+	window     int
+	stallAfter int
+
+	started      bool
+	bestPot      int
+	lastProgress int // round of the last φ drop (or the first observation)
+	health       atomic.Uint32
+}
+
+// NewStallDetector returns a detector with the given thresholds;
+// non-positive values select the defaults. stallAfter below window is
+// raised to window.
+func NewStallDetector(window, stallAfter int) *StallDetector {
+	if window <= 0 {
+		window = DefaultStallWindow
+	}
+	if stallAfter <= 0 {
+		stallAfter = DefaultStallAfter
+	}
+	if stallAfter < window {
+		stallAfter = window
+	}
+	return &StallDetector{window: window, stallAfter: stallAfter}
+}
+
+// Observe folds one completed round's potential into the detector and
+// returns the resulting health. Rounds must be observed in ascending
+// order. It never allocates.
+func (d *StallDetector) Observe(round, potential int) Health {
+	if !d.started {
+		d.started = true
+		d.bestPot = potential
+		d.lastProgress = round
+	} else if potential < d.bestPot {
+		d.bestPot = potential
+		d.lastProgress = round
+	}
+	var h Health
+	switch gap := round - d.lastProgress; {
+	case potential == 0 || gap < d.window:
+		h = HealthConverging
+	case gap < d.stallAfter:
+		h = HealthPlateaued
+	default:
+		h = HealthStalled
+	}
+	d.health.Store(uint32(h))
+	return h
+}
+
+// Health returns the latest verdict (HealthUnknown before any Observe).
+func (d *StallDetector) Health() Health { return Health(d.health.Load()) }

@@ -1,0 +1,110 @@
+package profile
+
+import "testing"
+
+func TestHealthNames(t *testing.T) {
+	for h := Health(0); h < numHealth; h++ {
+		got, err := ParseHealth(h.String())
+		if err != nil || got != h {
+			t.Errorf("ParseHealth(%q) = %v, %v; want %v", h.String(), got, err, h)
+		}
+	}
+	if _, err := ParseHealth("bogus"); err == nil {
+		t.Error("ParseHealth(bogus) should fail")
+	}
+	if s := Health(200).String(); s != "Health(200)" {
+		t.Errorf("out-of-range String = %q", s)
+	}
+}
+
+func TestStallDetectorDefaults(t *testing.T) {
+	d := NewStallDetector(0, 0)
+	if d.window != DefaultStallWindow || d.stallAfter != DefaultStallAfter {
+		t.Fatalf("defaults = (%d, %d), want (%d, %d)",
+			d.window, d.stallAfter, DefaultStallWindow, DefaultStallAfter)
+	}
+	if d.Health() != HealthUnknown {
+		t.Fatalf("pre-observation health = %v, want unknown", d.Health())
+	}
+	// stallAfter below window is raised to window.
+	d = NewStallDetector(100, 10)
+	if d.stallAfter != 100 {
+		t.Fatalf("stallAfter = %d, want raised to 100", d.stallAfter)
+	}
+}
+
+func TestStallDetectorTransitions(t *testing.T) {
+	d := NewStallDetector(4, 10)
+	// Decreasing potential: converging.
+	if h := d.Observe(1, 100); h != HealthConverging {
+		t.Fatalf("round 1: %v, want converging", h)
+	}
+	if h := d.Observe(2, 90); h != HealthConverging {
+		t.Fatalf("round 2: %v, want converging", h)
+	}
+	// Flat from round 2: gap reaches window at round 6.
+	for r := 3; r <= 5; r++ {
+		if h := d.Observe(r, 90); h != HealthConverging {
+			t.Fatalf("round %d (gap %d): %v, want converging", r, r-2, h)
+		}
+	}
+	if h := d.Observe(6, 90); h != HealthPlateaued {
+		t.Fatalf("round 6 (gap 4): %v, want plateaued", h)
+	}
+	// gap reaches stallAfter at round 12.
+	for r := 7; r <= 11; r++ {
+		if h := d.Observe(r, 90); h != HealthPlateaued {
+			t.Fatalf("round %d: %v, want plateaued", r, h)
+		}
+	}
+	if h := d.Observe(12, 90); h != HealthStalled {
+		t.Fatalf("round 12 (gap 10): %v, want stalled", h)
+	}
+	// A fresh drop recovers to converging.
+	if h := d.Observe(13, 80); h != HealthConverging {
+		t.Fatalf("round 13 after drop: %v, want converging", h)
+	}
+	// An increase is not progress (best-so-far semantics).
+	if h := d.Observe(17, 85); h != HealthPlateaued {
+		t.Fatalf("round 17 after rise: %v, want plateaued", h)
+	}
+}
+
+func TestStallDetectorZeroPotentialAlwaysConverging(t *testing.T) {
+	d := NewStallDetector(2, 4)
+	d.Observe(1, 0)
+	for r := 2; r <= 50; r++ {
+		if h := d.Observe(r, 0); h != HealthConverging {
+			t.Fatalf("round %d at phi=0: %v, want converging", r, h)
+		}
+	}
+}
+
+// TestStallDetectorDeterministic replays the same potential sequence
+// through two detectors: cmd/runreport relies on replay reaching the
+// identical verdict the live session saw.
+func TestStallDetectorDeterministic(t *testing.T) {
+	seq := []int{50, 40, 40, 40, 40, 40, 40, 30, 30, 30, 30, 30, 30, 30, 30, 30}
+	a, b := NewStallDetector(3, 6), NewStallDetector(3, 6)
+	for i, pot := range seq {
+		ha, hb := a.Observe(i+1, pot), b.Observe(i+1, pot)
+		if ha != hb {
+			t.Fatalf("round %d: %v vs %v", i+1, ha, hb)
+		}
+	}
+	if a.Health() != b.Health() {
+		t.Fatalf("final verdicts differ: %v vs %v", a.Health(), b.Health())
+	}
+}
+
+func TestStallDetectorObserveAllocs(t *testing.T) {
+	d := NewStallDetector(0, 0)
+	r := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		r++
+		d.Observe(r, 1000)
+	})
+	if allocs != 0 {
+		t.Fatalf("Observe allocated %.1f/op, want 0", allocs)
+	}
+}

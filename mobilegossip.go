@@ -119,6 +119,14 @@ type Config struct {
 	// re-resolves its own worker count (override with SetEngineWorkers).
 	// When ≥ 2 it supersedes Concurrent.
 	EngineWorkers int
+	// Profile attaches the timing sidecar (internal/profile, DESIGN.md
+	// §13): per-round phase spans and shard timing aggregated into
+	// histograms, a round_profile event after every round, and the
+	// convergence/stall health verdict. Profiling reads the wall clock
+	// only — simulation output is byte-identical with it on or off — and
+	// like EngineWorkers it is not part of the checkpoint: re-enable on a
+	// resumed session with EnableProfiling.
+	Profile bool
 	// TransferEps is the per-call Transfer(ε) failure bound
 	// (default n^{-3}).
 	TransferEps float64

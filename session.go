@@ -12,6 +12,7 @@ import (
 	"mobilegossip/internal/events"
 	"mobilegossip/internal/mtm"
 	"mobilegossip/internal/prand"
+	"mobilegossip/internal/profile"
 	"mobilegossip/internal/trace"
 )
 
@@ -57,6 +58,9 @@ type Simulation struct {
 	resumed      bool              // built by Resume: begin announces it
 	adv          *adversary.Engine // non-nil when the schedule is adversarial
 	lastAdvEpoch int               // last adversary epoch announced on the bus
+
+	prof  *profile.Recorder      // timing sidecar (nil = profiling off)
+	stall *profile.StallDetector // convergence watcher, driven by Step
 }
 
 // ErrSimulationDone is returned by Step once the run is over (objective
@@ -145,6 +149,9 @@ func New(cfg Config) (*Simulation, error) {
 		Workers:    resolveEngineWorkers(cfg.EngineWorkers, cfg.N),
 	})
 
+	if cfg.Profile {
+		s.EnableProfiling()
+	}
 	if cfg.OnRound != nil {
 		s.Observe(onRoundObserver{fn: cfg.OnRound})
 	}
@@ -188,6 +195,36 @@ func resolveEngineWorkers(w, n int) int {
 func (s *Simulation) SetEngineWorkers(w int) {
 	s.cfg.EngineWorkers = w
 	s.eng.SetWorkers(resolveEngineWorkers(w, s.cfg.N))
+}
+
+// EnableProfiling attaches the timing sidecar at a round boundary (the
+// Config.Profile knob in method form, for resumed sessions — checkpoints
+// do not record it). Idempotent; profiling affects wall-clock only,
+// never results. From the next Step on, the engine times every round
+// into Profiler() and a round_profile event follows each
+// round_completed.
+func (s *Simulation) EnableProfiling() {
+	if s.prof != nil {
+		return
+	}
+	s.cfg.Profile = true
+	s.prof = profile.NewRecorder()
+	s.stall = profile.NewStallDetector(0, 0)
+	s.eng.SetProfiler(s.prof)
+}
+
+// Profiler returns the session's timing recorder, or nil when profiling
+// is off. Safe to read concurrently with a running session (the
+// /metrics scrape path).
+func (s *Simulation) Profiler() *profile.Recorder { return s.prof }
+
+// Health returns the stall detector's latest convergence verdict
+// (HealthUnknown when profiling is off or no round has completed).
+func (s *Simulation) Health() profile.Health {
+	if s.stall == nil {
+		return profile.HealthUnknown
+	}
+	return s.stall.Health()
 }
 
 // Bus returns the session's event bus: every lifecycle event — session
@@ -326,6 +363,22 @@ func (s *Simulation) Step() (RoundStats, error) {
 		EdgesAdded: stats.EdgesAdded, EdgesRemoved: stats.EdgesRemoved,
 		Done: stats.Done,
 	})
+	if s.prof != nil {
+		rp := s.prof.Last()
+		h := s.stall.Observe(stats.Round, stats.Potential)
+		s.bus.Publish(events.Event{
+			Type: events.TypeRoundProfile, Round: stats.Round,
+			RoundNanos:     rp.TotalNs,
+			ChurnNanos:     rp.PhaseNs[profile.PhaseChurn],
+			ProposalNanos:  rp.PhaseNs[profile.PhaseProposal],
+			ExchangeNanos:  rp.PhaseNs[profile.PhaseExchange],
+			ReductionNanos: rp.PhaseNs[profile.PhaseReduction],
+			Workers:        rp.Workers,
+			ImbalanceMilli: rp.ImbalanceMilli(),
+			BarrierNanos:   rp.BarrierNs,
+			Health:         h.String(),
+		})
+	}
 	if s.eng.Finished() {
 		s.finish()
 	}
