@@ -8,12 +8,13 @@ GO ?= go
 BENCHTIME ?= 500x
 TOLERANCE ?= 0.15
 FUZZTIME ?= 10s
-# Ratcheted coverage floor: 85.2% measured over . ./internal/... at merge
+# Ratcheted coverage floor: 86.1% measured over . ./internal/... at merge
 # time (see `make cover`); raise it when coverage rises, never lower it to
-# make a PR pass.
-COVER_MIN ?= 85.0
+# make a PR pass. (The floor sits half a point under the measurement: the
+# daemon's concurrency tests cover a few timing-dependent branches.)
+COVER_MIN ?= 85.5
 
-.PHONY: all build vet fmt lint test race race-concurrent cover fuzz bench bench-core bench-gate bench-baseline determinism-matrix examples docs docs-verify ci
+.PHONY: all build vet fmt lint test race race-concurrent cover fuzz bench bench-core bench-gate bench-baseline determinism-matrix determinism-remote load-test examples docs docs-verify ci
 
 all: build
 
@@ -50,12 +51,15 @@ race:
 # race-concurrent runs every parallel engine path — the mtm concurrent
 # backend, the shard-parallel round engine (including the root package's
 # n=10k all-algorithms/all-adversaries workload), the adversary schedules
-# driven through them, the observer/trace layers that tap them, and the
+# driven through them, the observer/trace layers that tap them, the
 # profiling read side (live /metrics scrapes and histogram reads against
-# a profiled parallel session) — un-shortened under the race detector.
+# a profiled parallel session), and the daemon's full-service traffic mix
+# (create/step/evict/revive/follow/delete under concurrent scrapes) —
+# un-shortened under the race detector.
 race-concurrent:
 	$(GO) test -race -count=1 -run 'Concurrent|Backends|Sharded|EngineWorkers|Bus|Sink|Collector' \
-		. ./internal/mtm ./internal/adversary ./internal/trace ./internal/leader ./internal/events ./internal/profile
+		. ./internal/mtm ./internal/adversary ./internal/trace ./internal/leader ./internal/events ./internal/profile \
+		./internal/daemon
 
 # cover enforces the ratcheted coverage floor (COVER_MIN, measured at merge
 # time) over the library surface — the root package and internal/... (cmd/
@@ -80,6 +84,8 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzResume -fuzztime=$(FUZZTIME) .
 	$(GO) test -run='^$$' -fuzz=FuzzParseNames -fuzztime=$(FUZZTIME) .
 	$(GO) test -run='^$$' -fuzz=FuzzParseIntList -fuzztime=$(FUZZTIME) ./cmd/gossipsim
+	$(GO) test -run='^$$' -fuzz=FuzzCreateRequest -fuzztime=$(FUZZTIME) ./internal/daemon
+	$(GO) test -run='^$$' -fuzz=FuzzEventsQuery -fuzztime=$(FUZZTIME) ./internal/daemon
 
 # bench is the CI smoke configuration: compile and run every benchmark
 # exactly once so regressions in the hot gossip loops surface per-PR
@@ -161,6 +167,61 @@ determinism-matrix:
 	rm -f dmx_benchtable dmx_gossipsim dmx.ckpt dmx_cell.csv dmx_ref.csv dmx_full.txt dmx_resumed.txt dmx_ref_full.txt dmx_prof.txt; \
 	echo "determinism-matrix: E1/E22/E25 tables, mid-run checkpoints and profiled runs byte-identical across all 12 (GOMAXPROCS, workers) cells"
 
+# determinism-remote is the matrix's service-boundary cell: the same
+# simulation driven locally and through a live gossipd (gossipsim
+# -remote) must print byte-identical result tables, write byte-identical
+# event streams and mid-run checkpoints, and resume identically from an
+# uploaded checkpoint — all while the daemon's idle timeout (300ms,
+# against a 600ms -remotepause stall) forcibly evicts and revives the
+# session mid-run, so the checkpoint round trip is exercised for real
+# (the metrics grep fails the target if no eviction happened). Only
+# wall-clock lines ("wall time", checkpoint/resume paths) are filtered.
+determinism-remote:
+	$(GO) build -o drm_gossipd ./cmd/gossipd
+	$(GO) build -o drm_gossipsim ./cmd/gossipsim
+	@set -e; rm -rf drm_state drm_addr drm_daemon.log; \
+	./drm_gossipd -addr 127.0.0.1:0 -statedir drm_state -idletimeout 300ms -addrfile drm_addr 2> drm_daemon.log & \
+	dpid=$$!; trap 'kill $$dpid 2>/dev/null' EXIT; \
+	i=0; while [ ! -s drm_addr ]; do \
+		i=$$((i+1)); \
+		if [ $$i -gt 100 ]; then echo "gossipd never wrote drm_addr"; cat drm_daemon.log; exit 1; fi; \
+		sleep 0.1; \
+	done; \
+	addr=$$(cat drm_addr); echo "== gossipd at $$addr"; \
+	./drm_gossipsim -alg sharedbit -graph waypoint -n 500 -k 8 -tau 1 -seed 7 \
+		-events drm_local.jsonl -checkpoint drm_local.ckpt -checkpointat 5 \
+		| grep -v 'wall time\|checkpoint written' > drm_local.txt; \
+	./drm_gossipsim -remote $$addr -remotepause 600ms \
+		-alg sharedbit -graph waypoint -n 500 -k 8 -tau 1 -seed 7 \
+		-events drm_remote.jsonl -checkpoint drm_remote.ckpt -checkpointat 5 \
+		| grep -v 'wall time\|checkpoint written' > drm_remote.txt; \
+	cmp drm_local.txt drm_remote.txt; \
+	cmp drm_local.jsonl drm_remote.jsonl; \
+	cmp drm_local.ckpt drm_remote.ckpt; \
+	./drm_gossipsim -resume drm_local.ckpt -events drm_lr.jsonl \
+		| grep -v 'wall time\|resumed from' > drm_lr.txt; \
+	./drm_gossipsim -remote $$addr -remotepause 600ms -resume drm_remote.ckpt -events drm_rr.jsonl \
+		| grep -v 'wall time\|resumed from' > drm_rr.txt; \
+	cmp drm_lr.txt drm_rr.txt; \
+	cmp drm_lr.jsonl drm_rr.jsonl; \
+	curl -sf "http://$$addr/metrics" | grep -q '^gossipd_evictions_total [1-9]' \
+		|| { echo "determinism-remote: daemon never evicted — the revival path went untested"; exit 1; }; \
+	rm -rf drm_gossipd drm_gossipsim drm_state drm_addr drm_daemon.log \
+		drm_local.txt drm_remote.txt drm_local.jsonl drm_remote.jsonl drm_local.ckpt drm_remote.ckpt \
+		drm_lr.txt drm_rr.txt drm_lr.jsonl drm_rr.jsonl; \
+	echo "determinism-remote: result tables, event streams and checkpoints byte-identical local vs -remote, across a forced mid-run evict/revive"
+
+# load-test launches a real gossipd and drives a few hundred concurrent
+# sessions through the client bindings (create → partial run → evict
+# under a 40ms idle timeout and a 32-session cap → revive → finish),
+# asserting zero lost or corrupted sessions and a throughput floor; see
+# TestDaemonLoad for the full contract.
+load-test:
+	$(GO) build -o lt_gossipd ./cmd/gossipd
+	MOBILEGOSSIP_LOADTEST=1 GOSSIPD_BIN=$(CURDIR)/lt_gossipd \
+		$(GO) test -count=1 -run '^TestDaemonLoad$$' -v -timeout 10m ./internal/daemon
+	rm -f lt_gossipd
+
 # docs regenerates docs/cli.md from the CLIs' live -h output; docs-verify
 # (run by the CI build job) fails when the committed reference has drifted
 # from the flag definitions — add a flag, run `make docs`, commit both.
@@ -179,5 +240,5 @@ examples:
 	done
 	@echo "examples: all scenarios ran clean in -short mode"
 
-ci: build vet fmt lint docs-verify examples race race-concurrent test cover bench determinism-matrix bench-gate
+ci: build vet fmt lint docs-verify examples race race-concurrent test cover bench determinism-matrix determinism-remote load-test bench-gate
 	$(MAKE) fuzz FUZZTIME=5s

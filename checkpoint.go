@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
 	"time"
 
 	"mobilegossip/internal/adversary"
@@ -136,6 +137,46 @@ func (s *Simulation) Checkpoint(w io.Writer) error {
 		WriteNanos: writeNs,
 	})
 	return nil
+}
+
+// CheckpointFile serializes the simulation to path atomically: the
+// stream is written to a temporary sibling file and renamed into place
+// only after a successful flush, so a crash mid-write can never leave a
+// truncated checkpoint where a valid one (or nothing) should be. This is
+// the persistence hook gossipd's checkpoint-backed session eviction
+// rides; it is equally convenient for CLI-level snapshots.
+func (s *Simulation) CheckpointFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := s.Checkpoint(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// ResumeFile revives a CheckpointFile (or any Checkpoint stream saved to
+// disk) into a live simulation — the counterpart hook gossipd uses to
+// transparently revive evicted sessions on their next touch.
+func ResumeFile(path string) (*Simulation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Resume(f)
 }
 
 // Resume deserializes a Checkpoint stream into a live simulation

@@ -26,7 +26,8 @@ import (
 // one-line summaries the generated page shows. Adding a CLI? Add it
 // here and run `make docs`.
 var tools = []struct{ name, summary string }{
-	{"gossipsim", "run gossip simulations (single sessions, sweeps, checkpoints, events, metrics)"},
+	{"gossipsim", "run gossip simulations (single sessions, sweeps, checkpoints, events, metrics; -remote drives a gossipd)"},
+	{"gossipd", "serve concurrent simulation sessions over HTTP with checkpoint-backed eviction"},
 	{"graphinfo", "report topology structure (Δ, D, α) and dynamic-schedule churn"},
 	{"benchtable", "regenerate the paper's evaluation tables (experiments E1..E27)"},
 	{"traceview", "summarize a -tracefile JSONL proposal/connection trace (or, with -events, a session-event file)"},

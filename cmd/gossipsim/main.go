@@ -62,6 +62,18 @@
 //	    -profile -events run.jsonl -metrics :9090
 //	runreport run.jsonl
 //	curl -s localhost:9090/debug/pprof/profile?seconds=5 > cpu.pb.gz
+//
+// Remote mode (-remote ADDR) drives the same single-run commands against
+// a gossipd daemon instead of in-process: create (or -resume via
+// checkpoint upload), run, -checkpoint/-checkpointat via checkpoint
+// download, -events via recorded-stream replay. The daemon executes the
+// identical deterministic simulation, so the result table, checkpoint
+// files and event stream are byte-identical to the local run's — which
+// the determinism CI matrix asserts:
+//
+//	gossipd -addr 127.0.0.1:7373 &
+//	gossipsim -remote 127.0.0.1:7373 -alg sharedbit -graph waypoint \
+//	    -n 2000 -k 8 -tau 1 -events remote.jsonl -checkpoint remote.ckpt
 package main
 
 import (
@@ -69,9 +81,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"net"
+	"io"
 	"net/http"
-	"net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
@@ -79,6 +90,8 @@ import (
 	"time"
 
 	"mobilegossip"
+	"mobilegossip/client"
+	"mobilegossip/internal/httpserve"
 )
 
 func main() {
@@ -129,6 +142,8 @@ func run(args []string) error {
 		eventsF   = fs.String("events", "", "write session events (round/churn/checkpoint/session, DESIGN.md §12) as JSONL to this file (single runs only)")
 		metricsF  = fs.String("metrics", "", "serve Prometheus-style /metrics plus /debug/pprof on this address, e.g. :9090, for the run's duration (single runs only)")
 		profileF  = fs.Bool("profile", false, "attach the engine timing profiler (DESIGN.md §13): round_profile events, latency histograms on -metrics, a post-run summary; never changes the simulation's results (single runs only)")
+		remoteF   = fs.String("remote", "", "drive the run against the gossipd daemon at this address (host:port) instead of in-process; output is byte-identical to the local run (single runs only)")
+		remoteGap = fs.Duration("remotepause", 0, "with -remote: idle this long between the -checkpointat snapshot and the final run, giving a daemon with a short -idletimeout room to evict and revive the session (a determinism test hook)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -137,12 +152,23 @@ func run(args []string) error {
 		return err
 	}
 
+	opts := obsOptions{
+		trace: *trace, traceFile: *traceFile, sample: *sample,
+		ckptFile: *ckptFile, ckptAt: *ckptAt,
+		events: *eventsF, metrics: *metricsF, profile: *profileF,
+	}
+	if *remoteF != "" {
+		if *trace > 0 || *traceFile != "" || *sample > 0 || *metricsF != "" || *profileF {
+			return fmt.Errorf("-trace, -tracefile, -sample, -metrics and -profile run in-process observers and do not combine with -remote")
+		}
+	} else if *remoteGap > 0 {
+		return fmt.Errorf("-remotepause requires -remote")
+	}
 	if *resumeF != "" {
-		return runResume(*resumeF, *engineW, obsOptions{
-			trace: *trace, traceFile: *traceFile, sample: *sample,
-			ckptFile: *ckptFile, ckptAt: *ckptAt,
-			events: *eventsF, metrics: *metricsF, profile: *profileF,
-		})
+		if *remoteF != "" {
+			return runRemoteResume(*remoteF, *resumeF, *remoteGap, opts)
+		}
+		return runResume(*resumeF, *engineW, opts)
 	}
 
 	alg, err := mobilegossip.ParseAlgorithm(*algName)
@@ -196,6 +222,9 @@ func run(args []string) error {
 		if *trace > 0 || *traceFile != "" || *sample > 0 || *ckptFile != "" || *eventsF != "" || *metricsF != "" || *profileF {
 			return fmt.Errorf("-trace, -tracefile, -sample, -checkpoint, -events, -metrics and -profile apply to single runs only, not sweeps")
 		}
+		if *remoteF != "" {
+			return fmt.Errorf("-remote applies to single runs only, not sweeps")
+		}
 		var points []mobilegossip.Config
 		for _, n := range ns {
 			for _, k := range ks {
@@ -207,15 +236,14 @@ func run(args []string) error {
 	cfg := mkConfig(ns[0], ks[0])
 	cfg.Seed = *seed
 	cfg.Profile = *profileF
+	if *remoteF != "" {
+		return runRemote(*remoteF, cfg, *remoteGap, opts)
+	}
 	sim, err := mobilegossip.New(cfg)
 	if err != nil {
 		return err
 	}
-	return driveSingle(sim, obsOptions{
-		trace: *trace, traceFile: *traceFile, sample: *sample,
-		ckptFile: *ckptFile, ckptAt: *ckptAt,
-		events: *eventsF, metrics: *metricsF, profile: *profileF,
-	})
+	return driveSingle(sim, opts)
 }
 
 // runSweep executes the n×k grid on the worker pool and prints one
@@ -290,6 +318,166 @@ func runResume(path string, engineWorkers int, opts obsOptions) error {
 	}
 	fmt.Printf("resumed from %s at round %d (φ=%d)\n", path, sim.Round(), sim.Potential())
 	return driveSingle(sim, opts)
+}
+
+// wireRequest renders cfg as the daemon's create request (enum values by
+// their wire names — the same names the flags parse).
+func wireRequest(cfg mobilegossip.Config, recordEvents bool) client.CreateRequest {
+	t := cfg.Topology
+	return client.CreateRequest{
+		Algorithm: cfg.Algorithm.String(),
+		N:         cfg.N,
+		K:         cfg.K,
+		Topology: client.TopologySpec{
+			Kind: t.Kind.String(), Degree: t.Degree, P: t.P,
+			Rows: t.Rows, Cols: t.Cols,
+			CliqueSize: t.CliqueSize, PathLen: t.PathLen,
+			Radius: t.Radius, Attach: t.Attach,
+			Speed: t.Speed, Pause: t.Pause, LevyAlpha: t.LevyAlpha,
+			Groups: t.Groups, Attract: t.Attract, Period: t.Period,
+			Adversary: t.Adversary.String(), AdvBudget: t.AdvBudget,
+			AdvParts: t.AdvParts, AdvPeriod: t.AdvPeriod,
+			Relabel: t.Relabel.String(),
+		},
+		Tau:           cfg.Tau,
+		Epsilon:       cfg.Epsilon,
+		TagBits:       cfg.TagBits,
+		Seed:          cfg.Seed,
+		MaxRounds:     cfg.MaxRounds,
+		Concurrent:    cfg.Concurrent,
+		EngineWorkers: cfg.EngineWorkers,
+		Profile:       cfg.Profile,
+		TransferEps:   cfg.TransferEps,
+		RecordEvents:  recordEvents,
+	}
+}
+
+// runRemote creates a session on the daemon from cfg and drives it like
+// driveSingle drives a local one.
+func runRemote(addr string, cfg mobilegossip.Config, pause time.Duration, opts obsOptions) error {
+	c := client.New(addr)
+	ctx := context.Background()
+	info, err := c.Create(ctx, wireRequest(cfg, opts.events != ""))
+	if err != nil {
+		return err
+	}
+	return driveRemote(ctx, c, info, pause, opts)
+}
+
+// runRemoteResume uploads a checkpoint file to the daemon and drives the
+// revived session. The daemon re-resolves worker count and profiling for
+// its own process (checkpoints deliberately carry neither).
+func runRemoteResume(addr, path string, pause time.Duration, opts obsOptions) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	c := client.New(addr)
+	ctx := context.Background()
+	info, err := c.Resume(ctx, f, opts.events != "")
+	f.Close()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("resumed from %s at round %d (φ=%d)\n", path, info.Round, info.Potential)
+	return driveRemote(ctx, c, info, pause, opts)
+}
+
+// driveRemote mirrors driveSingle over the wire: run to -checkpointat
+// and download the snapshot, run to completion, download the recorded
+// events, print the summary table — every artifact byte-identical to the
+// local run's. The session is deleted on the way out.
+func driveRemote(ctx context.Context, c *client.Client, info client.SessionInfo, pause time.Duration, opts obsOptions) error {
+	id := info.ID
+	defer c.Delete(context.Background(), id) //nolint:errcheck // best-effort cleanup
+	start := time.Now()
+	if opts.ckptFile != "" && opts.ckptAt > 0 {
+		if rel := opts.ckptAt - info.Round; rel > 0 {
+			if _, err := c.Run(ctx, id, rel); err != nil {
+				return err
+			}
+		}
+		if err := downloadCheckpoint(ctx, c, id, opts.ckptFile); err != nil {
+			return err
+		}
+	}
+	if pause > 0 {
+		// Determinism test hook: idle here so a daemon with a short
+		// -idletimeout evicts the session; the final run below must then
+		// revive it with no observable difference.
+		time.Sleep(pause)
+	}
+	res, err := c.Run(ctx, id, 0)
+	if err != nil {
+		return err
+	}
+	if opts.ckptFile != "" && opts.ckptAt <= 0 {
+		if err := downloadCheckpoint(ctx, c, id, opts.ckptFile); err != nil {
+			return err
+		}
+	}
+	if opts.events != "" {
+		if err := downloadEvents(ctx, c, id, opts.events); err != nil {
+			return err
+		}
+	}
+	elapsed := time.Since(start)
+	s := res.Session
+	return printResultTable(resultView{
+		algorithm: res.Algorithm, topology: res.Topology,
+		n: s.N, k: s.K, tau: s.Tau, epsilon: s.Epsilon,
+		solved: res.Solved, rounds: res.Rounds,
+		connections: res.Connections, proposals: res.Proposals,
+		controlBits: res.ControlBits, tokensMoved: res.TokensMoved,
+		edgesAdded: res.EdgesAdded, edgesRemoved: res.EdgesRemoved,
+		finalPotential: res.FinalPotential, elapsed: elapsed,
+	})
+}
+
+// downloadCheckpoint fetches the session's checkpoint into path and
+// prints the same confirmation line writeCheckpoint prints locally.
+func downloadCheckpoint(ctx context.Context, c *client.Client, id, path string) error {
+	rc, err := c.Checkpoint(ctx, id)
+	if err != nil {
+		return err
+	}
+	defer rc.Close()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(f, rc); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	info, err := c.State(ctx, id)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("checkpoint written to %s at round %d (φ=%d)\n", path, info.Round, info.Potential)
+	return nil
+}
+
+// downloadEvents replays the session's recorded event stream into path —
+// the bytes a local -events file holds.
+func downloadEvents(ctx context.Context, c *client.Client, id, path string) error {
+	rc, err := c.Events(ctx, id, client.EventOptions{})
+	if err != nil {
+		return err
+	}
+	defer rc.Close()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(f, rc); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // driveSingle attaches the requested observers, runs the session to
@@ -374,33 +562,21 @@ func driveSingle(sim *mobilegossip.Simulation, opts obsOptions) error {
 
 // serveMetrics binds the -metrics address and serves the run's metrics
 // collector plus Go's pprof handlers until the returned stop function is
-// called. A bind failure (port taken, bad address) fails the command
-// immediately instead of silently running without the endpoint; stop
-// shuts the server down gracefully so in-flight scrapes finish.
+// called. The fail-fast bind, graceful shutdown and pprof mounting live
+// in internal/httpserve, shared with the gossipd daemon.
 func serveMetrics(sim *mobilegossip.Simulation, addr string) (stop func(), err error) {
 	col := mobilegossip.NewMetricsCollector()
 	col.Attach(sim.Bus())
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", col)
-	// The pprof handlers must be mounted by hand: the package's side-
-	// effect registration only covers http.DefaultServeMux.
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-
-	ln, err := net.Listen("tcp", addr)
+	httpserve.MountPprof(mux)
+	srv, err := httpserve.Start(addr, mux)
 	if err != nil {
-		return nil, fmt.Errorf("-metrics: cannot listen on %q: %w", addr, err)
+		return nil, fmt.Errorf("-metrics: %w", err)
 	}
-	srv := &http.Server{Handler: mux}
-	go srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Shutdown
-	fmt.Fprintf(os.Stderr, "serving /metrics and /debug/pprof on http://%s/\n", ln.Addr())
+	fmt.Fprintf(os.Stderr, "serving /metrics and /debug/pprof on http://%s/\n", srv.Addr())
 	return func() {
-		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		defer cancel()
-		if err := srv.Shutdown(ctx); err != nil {
+		if err := srv.Shutdown(5 * time.Second); err != nil {
 			fmt.Fprintf(os.Stderr, "metrics server shutdown: %v\n", err)
 		}
 	}, nil
@@ -435,32 +611,61 @@ func (rp roundPrinter) EndRound(stats mobilegossip.RoundStats) {
 	}
 }
 
-// printResult renders the single-run summary table.
-func printResult(sim *mobilegossip.Simulation, res mobilegossip.Result, sampler *mobilegossip.PotentialSampler, elapsed time.Duration) error {
-	cfg := sim.Config()
+// resultView is the run summary as plain data, so the local path
+// (Simulation + Result) and the remote path (wire RunResult) render the
+// byte-identical table through one printer.
+type resultView struct {
+	algorithm, topology                              string
+	n, k, tau                                        int
+	epsilon                                          float64
+	solved                                           bool
+	rounds                                           int
+	connections, proposals, controlBits, tokensMoved int64
+	edgesAdded, edgesRemoved                         int64
+	finalPotential                                   int
+	elapsed                                          time.Duration
+}
+
+// printResultTable renders the single-run summary table from the view.
+func printResultTable(v resultView) error {
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(tw, "algorithm\t%s\n", res.Algorithm)
-	fmt.Fprintf(tw, "topology\t%s (n=%d, τ=%s)\n", res.Topology, cfg.N, tauString(cfg.Tau))
-	fmt.Fprintf(tw, "tokens\t%d\n", cfg.K)
-	if cfg.Epsilon > 0 {
-		fmt.Fprintf(tw, "objective\tε-gossip (ε=%.2f)\n", cfg.Epsilon)
+	fmt.Fprintf(tw, "algorithm\t%s\n", v.algorithm)
+	fmt.Fprintf(tw, "topology\t%s (n=%d, τ=%s)\n", v.topology, v.n, tauString(v.tau))
+	fmt.Fprintf(tw, "tokens\t%d\n", v.k)
+	if v.epsilon > 0 {
+		fmt.Fprintf(tw, "objective\tε-gossip (ε=%.2f)\n", v.epsilon)
 	} else {
 		fmt.Fprintf(tw, "objective\tgossip (all nodes learn all tokens)\n")
 	}
-	fmt.Fprintf(tw, "solved\t%v\n", res.Solved)
-	fmt.Fprintf(tw, "rounds\t%d\n", res.Rounds)
-	fmt.Fprintf(tw, "connections\t%d\n", res.Connections)
-	fmt.Fprintf(tw, "proposals\t%d\n", res.Proposals)
-	fmt.Fprintf(tw, "control bits\t%d\n", res.ControlBits)
-	fmt.Fprintf(tw, "tokens moved\t%d\n", res.TokensMoved)
-	if res.EdgesAdded > 0 || res.EdgesRemoved > 0 {
+	fmt.Fprintf(tw, "solved\t%v\n", v.solved)
+	fmt.Fprintf(tw, "rounds\t%d\n", v.rounds)
+	fmt.Fprintf(tw, "connections\t%d\n", v.connections)
+	fmt.Fprintf(tw, "proposals\t%d\n", v.proposals)
+	fmt.Fprintf(tw, "control bits\t%d\n", v.controlBits)
+	fmt.Fprintf(tw, "tokens moved\t%d\n", v.tokensMoved)
+	if v.edgesAdded > 0 || v.edgesRemoved > 0 {
 		fmt.Fprintf(tw, "edge churn\t+%d/-%d (%.1f per round)\n",
-			res.EdgesAdded, res.EdgesRemoved,
-			float64(res.EdgesAdded+res.EdgesRemoved)/float64(max(res.Rounds, 1)))
+			v.edgesAdded, v.edgesRemoved,
+			float64(v.edgesAdded+v.edgesRemoved)/float64(max(v.rounds, 1)))
 	}
-	fmt.Fprintf(tw, "final φ\t%d\n", res.FinalPotential)
-	fmt.Fprintf(tw, "wall time\t%v\n", elapsed.Round(time.Millisecond))
-	if err := tw.Flush(); err != nil {
+	fmt.Fprintf(tw, "final φ\t%d\n", v.finalPotential)
+	fmt.Fprintf(tw, "wall time\t%v\n", v.elapsed.Round(time.Millisecond))
+	return tw.Flush()
+}
+
+// printResult renders the single-run summary table plus the local-only
+// extras (-sample curve, -profile timing summary).
+func printResult(sim *mobilegossip.Simulation, res mobilegossip.Result, sampler *mobilegossip.PotentialSampler, elapsed time.Duration) error {
+	cfg := sim.Config()
+	if err := printResultTable(resultView{
+		algorithm: res.Algorithm.String(), topology: res.Topology,
+		n: cfg.N, k: cfg.K, tau: cfg.Tau, epsilon: cfg.Epsilon,
+		solved: res.Solved, rounds: res.Rounds,
+		connections: res.Connections, proposals: res.Proposals,
+		controlBits: res.ControlBits, tokensMoved: res.TokensMoved,
+		edgesAdded: res.EdgesAdded, edgesRemoved: res.EdgesRemoved,
+		finalPotential: res.FinalPotential, elapsed: elapsed,
+	}); err != nil {
 		return err
 	}
 	if sampler != nil {

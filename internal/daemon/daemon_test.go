@@ -1,0 +1,612 @@
+package daemon
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"mobilegossip"
+	"mobilegossip/client"
+	"mobilegossip/internal/events"
+)
+
+// testWire is the canonical session request the tests drive: small and
+// quick, but dynamic (τ=1 regenerates the topology every round, so churn
+// and epoch machinery is exercised) and fully deterministic.
+func testWire(seed uint64) client.CreateRequest {
+	return client.CreateRequest{
+		Algorithm: "sharedbit",
+		N:         64,
+		K:         8,
+		Topology:  client.TopologySpec{Kind: "regular", Degree: 4},
+		Tau:       1,
+		Seed:      seed,
+	}
+}
+
+// localConfig is testWire's in-process twin.
+func localConfig(seed uint64) mobilegossip.Config {
+	return mobilegossip.Config{
+		Algorithm: mobilegossip.AlgSharedBit,
+		N:         64,
+		K:         8,
+		Topology:  mobilegossip.Topology{Kind: mobilegossip.RandomRegular, Degree: 4},
+		Tau:       1,
+		Seed:      seed,
+	}
+}
+
+// newTestDaemon builds a daemon on a per-test state dir plus an
+// httptest server and typed client over it.
+func newTestDaemon(t *testing.T, cfg Config) (*Daemon, *client.Client) {
+	t.Helper()
+	cfg.StateDir = t.TempDir()
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	srv := httptest.NewServer(d.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		d.Close()
+	})
+	return d, client.New(srv.URL)
+}
+
+// localEventStream runs cfg to completion in-process and returns the
+// lossless event JSONL a synchronous subscriber sees — the reference the
+// daemon's recorded stream must match byte for byte.
+func localEventStream(t *testing.T, cfg mobilegossip.Config) ([]byte, mobilegossip.Result) {
+	t.Helper()
+	sim, err := mobilegossip.New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	var buf []byte
+	sim.Bus().SubscribeSync(events.Filter{}, func(ev events.Event) {
+		buf = ev.AppendJSON(buf)
+		buf = append(buf, '\n')
+	})
+	res, err := sim.Run(context.Background())
+	if err != nil {
+		t.Fatalf("local run: %v", err)
+	}
+	return buf, res
+}
+
+func TestDaemonSessionLifecycle(t *testing.T) {
+	_, c := newTestDaemon(t, Config{SliceRounds: 8})
+	ctx := context.Background()
+
+	v, err := c.Version(ctx)
+	if err != nil {
+		t.Fatalf("Version: %v", err)
+	}
+	if v.API != "v1" || v.CheckpointVersion != mobilegossip.CheckpointVersion || v.EventSchema != events.Schema {
+		t.Fatalf("Version = %+v", v)
+	}
+
+	info, err := c.Create(ctx, testWire(11))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if info.Status != "idle" || info.Round != 0 || info.N != 64 || info.K != 8 {
+		t.Fatalf("created info = %+v", info)
+	}
+
+	// Advance 5 rounds, then query state and a token count.
+	rr, err := c.Run(ctx, info.ID, 5)
+	if err != nil {
+		t.Fatalf("Run(5): %v", err)
+	}
+	if rr.Session.Round != 5 || rr.Canceled {
+		t.Fatalf("after Run(5): %+v", rr.Session)
+	}
+	st, err := c.State(ctx, info.ID)
+	if err != nil || st.Round != 5 {
+		t.Fatalf("State: %+v, %v", st, err)
+	}
+	tc, err := c.TokenCount(ctx, info.ID, 0)
+	if err != nil || tc.Count < 1 {
+		t.Fatalf("TokenCount: %+v, %v", tc, err)
+	}
+
+	// Run to completion; the wire result must equal the local run's.
+	rr, err = c.Run(ctx, info.ID, 0)
+	if err != nil {
+		t.Fatalf("Run(0): %v", err)
+	}
+	want, err := mobilegossip.Run(localConfig(11))
+	if err != nil {
+		t.Fatalf("local run: %v", err)
+	}
+	if !rr.Solved || rr.Rounds != want.Rounds || rr.Connections != want.Connections ||
+		rr.TokensMoved != want.TokensMoved || rr.FinalPotential != want.FinalPotential {
+		t.Fatalf("remote result %+v != local %+v", rr, want)
+	}
+	if !rr.Session.Done || !rr.Session.Solved || rr.Session.Status != "idle" {
+		t.Fatalf("final session info = %+v", rr.Session)
+	}
+
+	infos, err := c.List(ctx)
+	if err != nil || len(infos) != 1 || infos[0].ID != info.ID {
+		t.Fatalf("List: %+v, %v", infos, err)
+	}
+	if err := c.Delete(ctx, info.ID); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if _, err := c.State(ctx, info.ID); err == nil {
+		t.Fatal("State after Delete succeeded")
+	} else if apiErr := new(client.APIError); !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("State after Delete: %v", err)
+	}
+}
+
+func TestDaemonCheckpointMatchesLocal(t *testing.T) {
+	_, c := newTestDaemon(t, Config{})
+	ctx := context.Background()
+	info, err := c.Create(ctx, testWire(3))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if _, err := c.Run(ctx, info.ID, 7); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	rc, err := c.Checkpoint(ctx, info.ID)
+	if err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	remote, err := io.ReadAll(rc)
+	rc.Close()
+	if err != nil {
+		t.Fatalf("reading checkpoint: %v", err)
+	}
+
+	sim, err := mobilegossip.New(localConfig(3))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for sim.Round() < 7 {
+		if _, err := sim.Step(); err != nil {
+			t.Fatalf("Step: %v", err)
+		}
+	}
+	var local bytes.Buffer
+	if err := sim.Checkpoint(&local); err != nil {
+		t.Fatalf("local Checkpoint: %v", err)
+	}
+	if !bytes.Equal(remote, local.Bytes()) {
+		t.Fatalf("remote checkpoint (%d bytes) differs from local (%d bytes)", len(remote), local.Len())
+	}
+
+	// The downloaded checkpoint resumes into a session that finishes
+	// identically to the local one.
+	info2, err := c.Resume(ctx, bytes.NewReader(remote), false)
+	if err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	if info2.Round != 7 {
+		t.Fatalf("resumed at round %d, want 7", info2.Round)
+	}
+	rr, err := c.Run(ctx, info2.ID, 0)
+	if err != nil {
+		t.Fatalf("Run resumed: %v", err)
+	}
+	want, err := mobilegossip.Run(localConfig(3))
+	if err != nil {
+		t.Fatalf("local run: %v", err)
+	}
+	if rr.Rounds != want.Rounds || rr.Connections != want.Connections || rr.ControlBits != want.ControlBits {
+		t.Fatalf("resumed result %+v != local %+v", rr, want)
+	}
+}
+
+func TestDaemonRecordedEventsMatchLocal(t *testing.T) {
+	_, c := newTestDaemon(t, Config{SliceRounds: 4})
+	ctx := context.Background()
+	req := testWire(21)
+	req.RecordEvents = true
+	info, err := c.Create(ctx, req)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if _, err := c.Run(ctx, info.ID, 0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	rc, err := c.Events(ctx, info.ID, client.EventOptions{})
+	if err != nil {
+		t.Fatalf("Events: %v", err)
+	}
+	remote, err := io.ReadAll(rc)
+	rc.Close()
+	if err != nil {
+		t.Fatalf("reading events: %v", err)
+	}
+	local, _ := localEventStream(t, localConfig(21))
+	if !bytes.Equal(remote, local) {
+		t.Fatalf("recorded stream (%d bytes) differs from local (%d bytes)", len(remote), len(local))
+	}
+
+	// Server-side filtering returns exactly the matching original lines.
+	rc, err = c.Events(ctx, info.ID, client.EventOptions{Types: []string{"round_completed"}, MinRound: 2, MaxRound: 4})
+	if err != nil {
+		t.Fatalf("Events filtered: %v", err)
+	}
+	filtered, _ := io.ReadAll(rc)
+	rc.Close()
+	lines := strings.Split(strings.TrimSuffix(string(filtered), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("filtered lines = %d, want 3:\n%s", len(lines), filtered)
+	}
+	for _, ln := range lines {
+		if !strings.Contains(ln, `"type":"round_completed"`) {
+			t.Fatalf("filtered line of wrong type: %s", ln)
+		}
+		if !strings.Contains(string(local), ln) {
+			t.Fatalf("filtered line not verbatim from the stream: %s", ln)
+		}
+	}
+}
+
+// TestDaemonEvictionTransparency is the eviction contract test: a
+// session evicted (and revived) mid-run must produce the identical
+// result, the identical downloadable checkpoint, and the identical
+// recorded event stream as a never-evicted run.
+func TestDaemonEvictionTransparency(t *testing.T) {
+	d, c := newTestDaemon(t, Config{SliceRounds: 4})
+	ctx := context.Background()
+	req := testWire(42)
+	req.RecordEvents = true
+	info, err := c.Create(ctx, req)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if _, err := c.Run(ctx, info.ID, 6); err != nil {
+		t.Fatalf("Run(6): %v", err)
+	}
+
+	s, err := d.get(info.ID)
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	if !d.tryEvict(s) {
+		t.Fatal("tryEvict failed on an idle session")
+	}
+	st, err := c.State(ctx, info.ID)
+	if err != nil || st.Status != "evicted" || st.Round != 6 {
+		t.Fatalf("evicted state = %+v, %v", st, err)
+	}
+	if _, err := os.Stat(d.ckptPath(info.ID)); err != nil {
+		t.Fatalf("eviction checkpoint missing: %v", err)
+	}
+
+	// The next run revives transparently and finishes the run.
+	rr, err := c.Run(ctx, info.ID, 0)
+	if err != nil {
+		t.Fatalf("Run after evict: %v", err)
+	}
+	if rr.Session.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", rr.Session.Evictions)
+	}
+	localBytes, want := localEventStream(t, localConfig(42))
+	if !rr.Solved || rr.Rounds != want.Rounds || rr.Connections != want.Connections ||
+		rr.ControlBits != want.ControlBits || rr.TokensMoved != want.TokensMoved {
+		t.Fatalf("evicted-run result %+v != local %+v", rr, want)
+	}
+
+	rc, err := c.Events(ctx, info.ID, client.EventOptions{})
+	if err != nil {
+		t.Fatalf("Events: %v", err)
+	}
+	remote, _ := io.ReadAll(rc)
+	rc.Close()
+	if !bytes.Equal(remote, localBytes) {
+		t.Fatalf("recorded stream after evict/revive (%d bytes) differs from uninterrupted local (%d bytes)",
+			len(remote), len(localBytes))
+	}
+}
+
+// TestDaemonMaxLiveCap drives more sessions than MaxLive and checks the
+// daemon holds the resident count at the cap by evicting idle sessions —
+// with none of them lost or corrupted.
+func TestDaemonMaxLiveCap(t *testing.T) {
+	const sessions = 8
+	d, c := newTestDaemon(t, Config{MaxLive: 2, SliceRounds: 8})
+	ctx := context.Background()
+	ids := make([]string, 0, sessions)
+	for i := 0; i < sessions; i++ {
+		info, err := c.Create(ctx, testWire(uint64(100+i)))
+		if err != nil {
+			t.Fatalf("Create %d: %v", i, err)
+		}
+		if _, err := c.Run(ctx, info.ID, 3); err != nil {
+			t.Fatalf("Run %d: %v", i, err)
+		}
+		ids = append(ids, info.ID)
+	}
+	if live := d.live.Load(); live > 2 {
+		t.Fatalf("resident sessions = %d, cap 2", live)
+	}
+	if d.evictsTotal.Load() == 0 {
+		t.Fatal("no evictions despite cap pressure")
+	}
+	// Every session — resident or evicted — finishes correctly.
+	for i, id := range ids {
+		rr, err := c.Run(ctx, id, 0)
+		if err != nil {
+			t.Fatalf("finishing %s: %v", id, err)
+		}
+		local, err := mobilegossip.Run(localConfig(uint64(100 + i)))
+		if err != nil {
+			t.Fatalf("local run %d: %v", i, err)
+		}
+		if !rr.Solved || rr.Rounds != local.Rounds || rr.Connections != local.Connections {
+			t.Fatalf("session %s result %+v != local %+v", id, rr, local)
+		}
+	}
+}
+
+func TestDaemonIdleTimeoutJanitor(t *testing.T) {
+	d, c := newTestDaemon(t, Config{IdleTimeout: 30 * time.Millisecond})
+	ctx := context.Background()
+	info, err := c.Create(ctx, testWire(5))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if _, err := c.Run(ctx, info.ID, 2); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		st, err := c.State(ctx, info.ID)
+		if err != nil {
+			t.Fatalf("State: %v", err)
+		}
+		if st.Status == "evicted" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("janitor never evicted the idle session")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if d.evictsTotal.Load() == 0 {
+		t.Fatal("evictions counter still zero")
+	}
+	// Revival on touch.
+	if _, err := c.TokenCount(ctx, info.ID, 1); err != nil {
+		t.Fatalf("TokenCount after eviction: %v", err)
+	}
+	if d.revivals.Load() == 0 {
+		t.Fatal("revivals counter still zero")
+	}
+}
+
+func TestDaemonRunCancel(t *testing.T) {
+	_, c := newTestDaemon(t, Config{SliceRounds: 1})
+	ctx := context.Background()
+	req := testWire(9)
+	req.MaxRounds = 1 << 20
+	info, err := c.Create(ctx, req)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	// Cancel a run mid-flight from a second goroutine.
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		_ = c.Cancel(context.Background(), info.ID)
+	}()
+	rr, err := c.Run(ctx, info.ID, 0)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !rr.Canceled && !rr.Session.Done {
+		t.Fatalf("run neither canceled nor done: %+v", rr)
+	}
+	// The session stays fully usable after a cancel.
+	if _, err := c.Run(ctx, info.ID, 1); err != nil {
+		t.Fatalf("Run after cancel: %v", err)
+	}
+}
+
+func TestDaemonFollowEvents(t *testing.T) {
+	_, c := newTestDaemon(t, Config{SliceRounds: 8})
+	ctx := context.Background()
+	info, err := c.Create(ctx, testWire(13))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	// Attach the follower before any stepping: it must see the whole
+	// stream live, ending with session_end, without recording enabled.
+	rc, err := c.Events(ctx, info.ID, client.EventOptions{Follow: true})
+	if err != nil {
+		t.Fatalf("Events follow: %v", err)
+	}
+	defer rc.Close()
+	done := make(chan error, 1)
+	var streamed []byte
+	go func() {
+		b, err := io.ReadAll(rc)
+		streamed = b
+		done <- err
+	}()
+	if _, err := c.Run(ctx, info.ID, 0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("follow stream: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("follow stream did not terminate at session end")
+	}
+	local, _ := localEventStream(t, localConfig(13))
+	if !bytes.Equal(streamed, local) {
+		t.Fatalf("followed stream (%d bytes) differs from local (%d bytes)", len(streamed), len(local))
+	}
+}
+
+func TestDaemonHTTPErrors(t *testing.T) {
+	_, c := newTestDaemon(t, Config{})
+	ctx := context.Background()
+
+	cases := []struct {
+		name   string
+		call   func() error
+		status int
+	}{
+		{"unknown algorithm", func() error {
+			req := testWire(1)
+			req.Algorithm = "quantum"
+			_, err := c.Create(ctx, req)
+			return err
+		}, http.StatusBadRequest},
+		{"invalid config", func() error {
+			req := testWire(1)
+			req.N = 1
+			_, err := c.Create(ctx, req)
+			return err
+		}, http.StatusBadRequest},
+		{"missing session", func() error {
+			_, err := c.Run(ctx, "s999999", 1)
+			return err
+		}, http.StatusNotFound},
+		{"bad checkpoint upload", func() error {
+			_, err := c.Resume(ctx, strings.NewReader("not a checkpoint"), false)
+			return err
+		}, http.StatusBadRequest},
+		{"bad node", func() error {
+			info, err := c.Create(ctx, testWire(2))
+			if err != nil {
+				return err
+			}
+			_, err = c.TokenCount(ctx, info.ID, 1<<20)
+			return err
+		}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		err := tc.call()
+		apiErr := new(client.APIError)
+		if !errors.As(err, &apiErr) {
+			t.Fatalf("%s: error %v is not an APIError", tc.name, err)
+		}
+		if apiErr.Status != tc.status {
+			t.Fatalf("%s: status %d, want %d (%s)", tc.name, apiErr.Status, tc.status, apiErr.Message)
+		}
+	}
+
+	// Unknown JSON fields and trailing garbage are rejected.
+	for _, body := range []string{
+		`{"algorithm":"sharedbit","n":64,"k":8,"topology":{"kind":"regular"},"fitler":"x"}`,
+		`{"algorithm":"sharedbit","n":64,"k":8,"topology":{"kind":"regular"}} extra`,
+	} {
+		if _, err := decodeCreateRequest([]byte(body)); err == nil {
+			t.Fatalf("decodeCreateRequest accepted %q", body)
+		}
+	}
+}
+
+func TestParseEventsQuery(t *testing.T) {
+	f, follow, err := parseEventsQuery("filter=round_completed,session_end&minround=2&maxround=9&follow=1")
+	if err != nil {
+		t.Fatalf("parseEventsQuery: %v", err)
+	}
+	if len(f.Types) != 2 || f.MinRound != 2 || f.MaxRound != 9 || !follow {
+		t.Fatalf("parsed %+v follow=%v", f, follow)
+	}
+	if _, _, err := parseEventsQuery(""); err != nil {
+		t.Fatalf("empty query: %v", err)
+	}
+	for _, bad := range []string{
+		"filter=nonsense_type",
+		"minround=-1",
+		"minround=abc",
+		"minround=9&maxround=2",
+		"follow=maybe",
+		"fitler=round_completed",
+		"%zz",
+	} {
+		if _, _, err := parseEventsQuery(bad); err == nil {
+			t.Fatalf("parseEventsQuery accepted %q", bad)
+		}
+	}
+}
+
+func TestDaemonMetricsExposition(t *testing.T) {
+	d, c := newTestDaemon(t, Config{MaxLive: 1})
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		info, err := c.Create(ctx, testWire(uint64(i)))
+		if err != nil {
+			t.Fatalf("Create: %v", err)
+		}
+		if _, err := c.Run(ctx, info.ID, 2); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+	}
+	text, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("Metrics: %v", err)
+	}
+	for _, want := range []string{
+		"gossipd_sessions 3",
+		"gossipd_sessions_created_total 3",
+		"gossipd_evictions_total",
+		"gossipd_workers",
+		"mobilegossip_rounds_total", // the aggregated per-session collector
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics exposition missing %q:\n%s", want, text)
+		}
+	}
+	if d.evictsTotal.Load() == 0 {
+		t.Fatal("cap never evicted")
+	}
+}
+
+func TestDaemonCloseFailsPendingJobs(t *testing.T) {
+	d, c := newTestDaemon(t, Config{})
+	ctx := context.Background()
+	info, err := c.Create(ctx, testWire(7))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	d.Close()
+	if _, err := d.Run(ctx, info.ID, 1); !errors.Is(err, errShuttingDown) {
+		t.Fatalf("Run after Close: %v", err)
+	}
+}
+
+func TestCheckpointFileAtomic(t *testing.T) {
+	sim, err := mobilegossip.New(localConfig(17))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s.ckpt")
+	if err := sim.CheckpointFile(path); err != nil {
+		t.Fatalf("CheckpointFile: %v", err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+	revived, err := mobilegossip.ResumeFile(path)
+	if err != nil {
+		t.Fatalf("ResumeFile: %v", err)
+	}
+	if revived.Round() != sim.Round() {
+		t.Fatalf("revived at round %d, want %d", revived.Round(), sim.Round())
+	}
+	if _, err := mobilegossip.ResumeFile(filepath.Join(dir, "missing.ckpt")); err == nil {
+		t.Fatal("ResumeFile on a missing path succeeded")
+	}
+}

@@ -1,0 +1,92 @@
+package daemon
+
+import (
+	"testing"
+
+	"mobilegossip/client"
+)
+
+// The daemon's two wire-decoding surfaces — the session-create JSON body
+// and the events endpoint's query string — parse attacker-controlled
+// bytes before any validation by the simulator. The invariant under fuzz
+// is the usual one for this module's decoders (FuzzResume, FuzzReaderRaw):
+// reject or normalize, never panic. Deliberately NOT under fuzz:
+// mobilegossip.New on the decoded config — a fuzzer that discovers
+// n=1e9 would be "finding" an allocation, not a bug; Config validation
+// has its own tests.
+
+func FuzzCreateRequest(f *testing.F) {
+	f.Add([]byte(`{"algorithm":"sharedbit","n":64,"k":8,"seed":1,"topology":{"kind":"regular","degree":4}}`))
+	f.Add([]byte(`{"algorithm":"crowdedbin","n":256,"k":32,"topology":{"kind":"gnp","p":0.1},"crowdedbin_beta":3}`))
+	f.Add([]byte(`{"algorithm":"simsharedbit","n":64,"k":4,"tau":1,"topology":{"kind":"waypoint","speed":0.02,"adversary":"cutrich","adv_budget":100}}`))
+	f.Add([]byte(`{"algorithm":"sharedbit","n":128,"k":128,"epsilon":0.75,"topology":{"kind":"doublestar","relabel":"bfs"},"record_events":true}`))
+	f.Add([]byte(`{"algorithm":"","topology":{"kind":""}}`))
+	f.Add([]byte(`{"algorithm":"sharedbit","unknown_field":1}`))
+	f.Add([]byte(`{}trailing`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req, err := decodeCreateRequest(body)
+		if err != nil {
+			return
+		}
+		// A decoded request must either resolve to a Config or produce an
+		// enum-name error; both without panicking.
+		if _, err := configFromWire(req); err != nil {
+			return
+		}
+		// Resolvable requests round-trip their enum names: re-resolving
+		// the same wire value is stable.
+		if _, err := configFromWire(req); err != nil {
+			t.Fatalf("configFromWire flapped on %+v: %v", req, err)
+		}
+	})
+}
+
+func FuzzEventsQuery(f *testing.F) {
+	f.Add("filter=round_completed")
+	f.Add("filter=round_completed,session_end&minround=2&maxround=40")
+	f.Add("follow=1")
+	f.Add("follow=true&filter=churn_applied")
+	f.Add("minround=0&maxround=0")
+	f.Add("filter=")
+	f.Add("filter=nope")
+	f.Add("minround=-3")
+	f.Add("minround=99&maxround=1")
+	f.Add("fitler=round_completed")
+	f.Add("%zz&&&=&follow")
+	f.Fuzz(func(t *testing.T, rawQuery string) {
+		filter, follow, err := parseEventsQuery(rawQuery)
+		if err != nil {
+			return
+		}
+		// Accepted queries yield an internally consistent filter...
+		if filter.MinRound < 0 || filter.MaxRound < 0 {
+			t.Fatalf("negative round bound accepted: %+v (query %q)", filter, rawQuery)
+		}
+		if filter.MinRound > 0 && filter.MaxRound > 0 && filter.MinRound > filter.MaxRound {
+			t.Fatalf("inverted round window accepted: %+v (query %q)", filter, rawQuery)
+		}
+		// ...whose accepted type names reproduce through the client-side
+		// query builder and parse identically (the two ends of the wire
+		// agree on the dialect).
+		names := make([]string, 0, len(filter.Types))
+		for _, typ := range filter.Types {
+			names = append(names, typ.String())
+		}
+		opts := client.EventOptions{Types: names, MinRound: filter.MinRound, MaxRound: filter.MaxRound, Follow: follow}
+		q := opts.Query()
+		if q != "" {
+			q = q[1:] // strip "?"
+		}
+		filter2, follow2, err := parseEventsQuery(q)
+		if err != nil {
+			t.Fatalf("round-tripped query %q rejected: %v", q, err)
+		}
+		if follow2 != follow || filter2.MinRound != filter.MinRound || filter2.MaxRound != filter.MaxRound ||
+			len(filter2.Types) != len(filter.Types) {
+			t.Fatalf("round trip changed the filter: %+v/%v -> %+v/%v (query %q -> %q)",
+				filter, follow, filter2, follow2, rawQuery, q)
+		}
+	})
+}

@@ -1,0 +1,296 @@
+package daemon
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"mobilegossip"
+	"mobilegossip/client"
+	"mobilegossip/internal/events"
+)
+
+// Handler returns the daemon's HTTP surface: the /v1 session tree plus
+// /metrics. The concrete mux comes back so callers can mount extras
+// (gossipd -pprof mounts httpserve.MountPprof on it).
+func (d *Daemon) Handler() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/version", d.handleVersion)
+	mux.HandleFunc("POST /v1/sessions", d.handleCreate)
+	mux.HandleFunc("GET /v1/sessions", d.handleList)
+	mux.HandleFunc("POST /v1/sessions/resume", d.handleResume)
+	mux.HandleFunc("GET /v1/sessions/{id}", d.handleState)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", d.handleDelete)
+	mux.HandleFunc("POST /v1/sessions/{id}/run", d.handleRun)
+	mux.HandleFunc("POST /v1/sessions/{id}/checkpoint", d.handleCheckpoint)
+	mux.HandleFunc("POST /v1/sessions/{id}/cancel", d.handleCancel)
+	mux.HandleFunc("GET /v1/sessions/{id}/tokens", d.handleTokens)
+	mux.HandleFunc("GET /v1/sessions/{id}/events", d.handleEvents)
+	mux.HandleFunc("GET /metrics", d.handleMetrics)
+	return mux
+}
+
+// writeJSON encodes v with a status; encode errors past the header are
+// unreportable and dropped.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// writeErr maps daemon errors onto HTTP statuses and the APIError body.
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	switch {
+	case errors.Is(err, errNoSession):
+		status = http.StatusNotFound
+	case errors.Is(err, errFailed):
+		status = http.StatusConflict
+	case errors.Is(err, errShuttingDown):
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, &client.APIError{Message: err.Error()})
+}
+
+func (d *Daemon) handleVersion(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, client.Version{
+		API:               "v1",
+		CheckpointVersion: mobilegossip.CheckpointVersion,
+		EventSchema:       events.Schema,
+	})
+}
+
+func (d *Daemon) handleCreate(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxCreateBody+1))
+	if err != nil {
+		writeErr(w, fmt.Errorf("reading request body: %w", err))
+		return
+	}
+	req, err := decodeCreateRequest(body)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	info, err := d.Create(req)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (d *Daemon) handleResume(w http.ResponseWriter, r *http.Request) {
+	record := r.URL.Query().Get("record_events") == "1"
+	info, err := d.ResumeUpload(r.Body, record)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (d *Daemon) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, d.List())
+}
+
+func (d *Daemon) handleState(w http.ResponseWriter, r *http.Request) {
+	info, err := d.State(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (d *Daemon) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if err := d.Delete(r.PathValue("id")); err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleRun long-polls: the response arrives when the job reaches its
+// target (or finishes, or is canceled). A client disconnect cancels the
+// job via the request context, so an abandoned run stops consuming
+// scheduler slices.
+func (d *Daemon) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req client.RunRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4096))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		writeErr(w, fmt.Errorf("decoding run request: %w", err))
+		return
+	}
+	res, err := d.Run(r.Context(), r.PathValue("id"), req.Rounds)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (d *Daemon) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	// Reviving and serializing under the session lock can't stream
+	// straight to the response: an error mid-stream would corrupt the
+	// download. The checkpoint is small (DESIGN.md §10); buffer it.
+	s, err := d.get(id)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	var buf writerBuffer
+	if err := d.Checkpoint(s.id, &buf); err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(buf)))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf)
+}
+
+// writerBuffer is bytes.Buffer's Write without the rest of it.
+type writerBuffer []byte
+
+func (b *writerBuffer) Write(p []byte) (int, error) {
+	*b = append(*b, p...)
+	return len(p), nil
+}
+
+func (d *Daemon) handleCancel(w http.ResponseWriter, r *http.Request) {
+	if err := d.Cancel(r.PathValue("id")); err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (d *Daemon) handleTokens(w http.ResponseWriter, r *http.Request) {
+	node, err := strconv.Atoi(r.URL.Query().Get("node"))
+	if err != nil {
+		writeErr(w, fmt.Errorf("tokens query: node must be an integer"))
+		return
+	}
+	tc, err := d.TokenCount(r.PathValue("id"), node)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, tc)
+}
+
+// handleEvents serves the session's event stream as NDJSON (one event
+// JSON line per event, the internal/events line format):
+//
+//   - Replay: with recording enabled, the recorded lines so far (filtered
+//     server-side by ?filter=&minround=&maxround=) — byte-identical to
+//     the JSONL a local run's event sink writes.
+//   - Follow (?follow=1): after the replay, the response stays open and
+//     streams matching live events as the session steps, until the
+//     session ends or the client disconnects. The session is pinned
+//     resident while followed (eviction skips pinned sessions).
+//
+// Follow attaches the live subscription and snapshots the replay under
+// the session lock, so the hand-off is gapless and duplicate-free: every
+// event is either in the replay or on the subscription, never both.
+func (d *Daemon) handleEvents(w http.ResponseWriter, r *http.Request) {
+	filter, follow, err := parseEventsQuery(r.URL.RawQuery)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	s, err := d.get(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	s.touch()
+
+	var replay []byte
+	var sub *events.Subscription
+	s.mu.Lock()
+	if follow {
+		if err := d.ensureLiveLocked(s); err != nil {
+			s.mu.Unlock()
+			writeErr(w, err)
+			return
+		}
+		s.pins.Add(1)
+		defer s.pins.Add(-1)
+		// Follow wants the end of the stream too, which the round-window
+		// filter would cut off; subscribe for lifecycle events regardless
+		// and re-filter rounds client-side of the channel.
+		sub = s.sim.Bus().Subscribe(events.Filter{Types: filter.Types}, 1024)
+		defer sub.Close()
+	}
+	if s.rec != nil {
+		replay, err = s.rec.snapshot(filter)
+	}
+	s.mu.Unlock()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if !follow && s.rec == nil {
+		writeErr(w, fmt.Errorf("session %s does not record events (create with record_events); live streaming needs follow=1", s.id))
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	if len(replay) > 0 {
+		if _, err := w.Write(replay); err != nil {
+			return
+		}
+	}
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		flusher.Flush()
+	}
+	if !follow {
+		return
+	}
+	var buf []byte
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-d.stop:
+			return
+		case ev, ok := <-sub.Events():
+			if !ok {
+				return
+			}
+			if !filter.Match(ev) {
+				if ev.Type == events.TypeSessionEnd {
+					return
+				}
+				continue
+			}
+			buf = ev.AppendJSON(buf[:0])
+			buf = append(buf, '\n')
+			if _, err := w.Write(buf); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			if ev.Type == events.TypeSessionEnd {
+				return
+			}
+		}
+	}
+}
+
+func (d *Daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_ = d.WriteMetrics(w)
+}

@@ -1,0 +1,225 @@
+package daemon
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"mobilegossip/internal/events"
+)
+
+// recorder is a session's lossless event log: a synchronous bus
+// subscriber appending one JSON line per event to a file in the daemon's
+// state directory. File-backed (not in-memory) so recorded streams
+// survive eviction without holding memory for evicted sessions — the
+// whole point of checkpoint-backed eviction.
+//
+// The recorder is also where eviction transparency is enforced. An
+// internal evict/revive cycle injects three bus events a never-evicted
+// run would not see: the eviction checkpoint's checkpoint_written, and
+// the revived simulation's re-announced session_start and
+// checkpoint_resumed. The daemon arms the suppress* flags around those
+// operations so the recorded stream stays byte-identical to the stream a
+// local uninterrupted run would produce — which is exactly what the
+// remote-vs-local determinism cell byte-compares. Client-requested
+// checkpoints and client-driven resumes are NOT suppressed: a local run
+// that checkpoints (or starts from gossipsim -resume) records those
+// events too.
+type recorder struct {
+	path  string
+	lines atomic.Int64
+
+	mu sync.Mutex
+	f  *os.File      // nil while the session is evicted
+	bw *bufio.Writer // nil while the session is evicted
+	// buf is the reused AppendJSON scratch, so steady-state recording
+	// costs one buffered write and zero allocations per event.
+	buf []byte
+	// startSeen: a session_start was recorded, so a revival's
+	// re-announcement must be dropped. (If the session was evicted
+	// before its first step, the revival's session_start IS the run's
+	// first — round 0, same identity — and is recorded.)
+	startSeen bool
+	// clientResumed: the session was created from an uploaded checkpoint,
+	// so the logical stream's prefix legitimately includes a
+	// checkpoint_resumed — which must survive even when an eviction lands
+	// before the first step (the revival then re-announces it).
+	clientResumed bool
+	// The suppression flags, armed by the daemon around internal
+	// evict/revive operations (see evictLocked / ensureLiveLocked).
+	suppressCheckpoint bool // drop checkpoint_written (eviction snapshot)
+	suppressNextStart  bool // drop the next session_start (revival)
+	suppressNextResume bool // drop the next checkpoint_resumed (revival)
+	err                error
+}
+
+// newRecorder creates (truncating) the session's event log at path.
+// clientResumed marks sessions created from an uploaded checkpoint.
+func newRecorder(path string, clientResumed bool) (*recorder, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("daemon: creating event log: %w", err)
+	}
+	return &recorder{path: path, f: f, bw: bufio.NewWriter(f), clientResumed: clientResumed}, nil
+}
+
+// observe is the bus handler: filter revival artifacts, append the line.
+func (r *recorder) observe(ev events.Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch ev.Type {
+	case events.TypeSessionStart:
+		if r.suppressNextStart {
+			r.suppressNextStart = false
+			return
+		}
+		r.startSeen = true
+	case events.TypeCheckpointResumed:
+		if r.suppressNextResume {
+			r.suppressNextResume = false
+			return
+		}
+	case events.TypeCheckpointWritten:
+		if r.suppressCheckpoint {
+			return
+		}
+	}
+	if r.bw == nil {
+		// Evicted sessions have no subscriptions, so nothing should
+		// arrive here; guard anyway rather than crash the daemon.
+		return
+	}
+	r.buf = ev.AppendJSON(r.buf[:0])
+	r.buf = append(r.buf, '\n')
+	if _, err := r.bw.Write(r.buf); err != nil {
+		if r.err == nil {
+			r.err = err
+		}
+		return
+	}
+	r.lines.Add(1)
+}
+
+// armRevival sets the suppression for the revived simulation's
+// re-announcement events (called with the session lock held, before the
+// revived session can step). A revived simulation always re-announces
+// session_start + checkpoint_resumed on its first step; what the logical
+// stream legitimately contains at that position is session_start (if not
+// yet recorded) plus checkpoint_resumed only when the session itself was
+// created from a client-uploaded checkpoint — everything else is an
+// eviction artifact and is dropped.
+func (r *recorder) armRevival() {
+	r.mu.Lock()
+	r.suppressNextStart = r.startSeen
+	r.suppressNextResume = r.startSeen || !r.clientResumed
+	r.mu.Unlock()
+}
+
+// setSuppressCheckpoint brackets the internal eviction snapshot.
+func (r *recorder) setSuppressCheckpoint(v bool) {
+	r.mu.Lock()
+	r.suppressCheckpoint = v
+	r.mu.Unlock()
+}
+
+// close flushes and closes the file (eviction, deletion). Idempotent.
+func (r *recorder) close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.closeLocked()
+}
+
+func (r *recorder) closeLocked() error {
+	if r.bw == nil {
+		return r.err
+	}
+	if err := r.bw.Flush(); err != nil && r.err == nil {
+		r.err = err
+	}
+	if err := r.f.Close(); err != nil && r.err == nil {
+		r.err = err
+	}
+	r.bw, r.f = nil, nil
+	return r.err
+}
+
+// reopen resumes appending after a revival.
+func (r *recorder) reopen() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.bw != nil {
+		return nil
+	}
+	f, err := os.OpenFile(r.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		if r.err == nil {
+			r.err = err
+		}
+		return err
+	}
+	r.f, r.bw = f, bufio.NewWriter(f)
+	return nil
+}
+
+// snapshot flushes pending writes and returns the recorded stream so
+// far, optionally filtered. With a zero filter the raw bytes come back
+// untouched (the byte-identical replay path); with a filter each line is
+// decoded, matched, and the matching ORIGINAL lines are returned, so
+// filtering never re-encodes (and thus never perturbs) recorded bytes.
+func (r *recorder) snapshot(f events.Filter) ([]byte, error) {
+	r.mu.Lock()
+	if r.err != nil {
+		err := r.err
+		r.mu.Unlock()
+		return nil, err
+	}
+	if r.bw != nil {
+		if err := r.bw.Flush(); err != nil {
+			if r.err == nil {
+				r.err = err
+			}
+			r.mu.Unlock()
+			return nil, err
+		}
+	}
+	raw, err := os.ReadFile(r.path)
+	r.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if len(f.Types) == 0 && f.MinRound == 0 && f.MaxRound == 0 {
+		return raw, nil
+	}
+	return filterLines(raw, f)
+}
+
+// filterLines keeps the raw JSONL lines whose decoded event matches f.
+func filterLines(raw []byte, f events.Filter) ([]byte, error) {
+	var out []byte
+	for len(raw) > 0 {
+		nl := len(raw)
+		if i := bytes.IndexByte(raw, '\n'); i >= 0 {
+			nl = i + 1
+		}
+		line := raw[:nl]
+		raw = raw[nl:]
+		trimmed := line
+		if n := len(trimmed); n > 0 && trimmed[n-1] == '\n' {
+			trimmed = trimmed[:n-1]
+		}
+		if len(trimmed) == 0 {
+			continue
+		}
+		ev, err := events.UnmarshalEvent(trimmed)
+		if err != nil {
+			return nil, err
+		}
+		if f.Match(ev) {
+			out = append(out, line...)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,64 @@
+package httpserve
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestStartServeShutdown(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ping", func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "pong")
+	})
+	MountPprof(mux)
+
+	s, err := Start("127.0.0.1:0", mux)
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	resp, err := http.Get("http://" + s.Addr() + "/ping")
+	if err != nil {
+		t.Fatalf("GET /ping: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "pong" {
+		t.Fatalf("GET /ping = %q, want pong", body)
+	}
+
+	// The pprof index must be mounted on the private mux.
+	resp, err = http.Get("http://" + s.Addr() + "/debug/pprof/")
+	if err != nil {
+		t.Fatalf("GET /debug/pprof/: %v", err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "profile") {
+		t.Fatalf("GET /debug/pprof/ = %d %q, want a pprof index", resp.StatusCode, body)
+	}
+
+	if err := s.Shutdown(2 * time.Second); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if _, err := http.Get("http://" + s.Addr() + "/ping"); err == nil {
+		t.Fatal("server still serving after Shutdown")
+	}
+}
+
+func TestStartFailsFastOnBadAddr(t *testing.T) {
+	s, err := Start("127.0.0.1:0", http.NewServeMux())
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer s.Shutdown(time.Second)
+	// Binding the same port again must fail synchronously.
+	if _, err := Start(s.Addr(), http.NewServeMux()); err == nil {
+		t.Fatal("second Start on a taken port succeeded")
+	}
+	if _, err := Start("definitely not an address", nil); err == nil {
+		t.Fatal("Start on a malformed address succeeded")
+	}
+}
