@@ -8,13 +8,13 @@ GO ?= go
 BENCHTIME ?= 500x
 TOLERANCE ?= 0.15
 FUZZTIME ?= 10s
-# Ratcheted coverage floor: 86.1% measured over . ./internal/... at merge
+# Ratcheted coverage floor: 86.2% measured over . ./internal/... at merge
 # time (see `make cover`); raise it when coverage rises, never lower it to
-# make a PR pass. (The floor sits half a point under the measurement: the
+# make a PR pass. (The floor sits a few tenths under the measurement: the
 # daemon's concurrency tests cover a few timing-dependent branches.)
-COVER_MIN ?= 85.5
+COVER_MIN ?= 86.0
 
-.PHONY: all build vet fmt lint test race race-concurrent cover fuzz bench bench-core bench-gate bench-baseline determinism-matrix determinism-remote load-test examples docs docs-verify ci
+.PHONY: all build vet fmt lint test race race-concurrent cover fuzz bench bench-core bench-gate bench-baseline determinism-matrix determinism-remote scenario-conformance load-test examples docs docs-verify ci
 
 all: build
 
@@ -85,6 +85,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzParseNames -fuzztime=$(FUZZTIME) .
 	$(GO) test -run='^$$' -fuzz=FuzzParseIntList -fuzztime=$(FUZZTIME) ./cmd/gossipsim
 	$(GO) test -run='^$$' -fuzz=FuzzCreateRequest -fuzztime=$(FUZZTIME) ./internal/daemon
+	$(GO) test -run='^$$' -fuzz=FuzzScenarioSpec -fuzztime=$(FUZZTIME) ./internal/scenario
 	$(GO) test -run='^$$' -fuzz=FuzzEventsQuery -fuzztime=$(FUZZTIME) ./internal/daemon
 
 # bench is the CI smoke configuration: compile and run every benchmark
@@ -211,6 +212,20 @@ determinism-remote:
 		drm_lr.txt drm_rr.txt drm_lr.jsonl drm_rr.jsonl; \
 	echo "determinism-remote: result tables, event streams and checkpoints byte-identical local vs -remote, across a forced mid-run evict/revive"
 
+# scenario-conformance runs the golden-trace suite over the committed
+# scenarios/ library: every scenario's tables, event streams and phase
+# checkpoints are byte-compared against scenarios/golden/ across workers
+# {1,7} and local vs a live gossipd, plus a mid-phase checkpoint/resume
+# cell and a forced daemon evict/revive cell (TestConformanceEvictRevive
+# fails if the eviction never happened). TestExampleParity pins the
+# examples/ pointers to the same goldens. Regenerate after an intentional
+# trace change with `go test -run TestGoldenConformance ./internal/scenario
+# -update` and commit the new goldens.
+scenario-conformance:
+	$(GO) test -count=1 -timeout 10m -v \
+		-run '^(TestGoldenConformance|TestConformanceEvictRevive|TestExampleParity)$$' \
+		./internal/scenario
+
 # load-test launches a real gossipd and drives a few hundred concurrent
 # sessions through the client bindings (create → partial run → evict
 # under a 40ms idle timeout and a 32-session cap → revive → finish),
@@ -240,5 +255,5 @@ examples:
 	done
 	@echo "examples: all scenarios ran clean in -short mode"
 
-ci: build vet fmt lint docs-verify examples race race-concurrent test cover bench determinism-matrix determinism-remote load-test bench-gate
+ci: build vet fmt lint docs-verify examples race race-concurrent test cover bench determinism-matrix determinism-remote scenario-conformance load-test bench-gate
 	$(MAKE) fuzz FUZZTIME=5s

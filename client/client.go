@@ -96,6 +96,23 @@ func (c *Client) Run(ctx context.Context, id string, rounds int) (RunResult, err
 	return res, err
 }
 
+// Rebind swaps the session's topology schedule and stability factor at
+// its current round boundary — the remote Simulation.Rebind. The
+// returned info reflects the new schedule.
+func (c *Client) Rebind(ctx context.Context, id string, req RebindRequest) (SessionInfo, error) {
+	var info SessionInfo
+	err := c.doJSON(ctx, http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/rebind", req, &info)
+	return info, err
+}
+
+// Assert evaluates scenario expect assertions against the session's
+// results so far. A violation returns a *APIError with Status 409 whose
+// Message is the scenario runner's assertion-failure text; nil means
+// every assertion holds.
+func (c *Client) Assert(ctx context.Context, id string, req AssertRequest) error {
+	return c.doJSON(ctx, http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/assert", req, nil)
+}
+
 // TokenCount returns how many tokens node u currently knows.
 func (c *Client) TokenCount(ctx context.Context, id string, node int) (TokenCount, error) {
 	var tc TokenCount

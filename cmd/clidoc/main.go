@@ -20,13 +20,16 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"strings"
 )
 
 // tools lists the documented commands in reference order with the
-// one-line summaries the generated page shows. Adding a CLI? Add it
-// here and run `make docs`.
+// one-line summaries the generated page shows. A name may carry a
+// subcommand ("gossipsim run"). Adding a CLI? Add it here and run
+// `make docs`.
 var tools = []struct{ name, summary string }{
 	{"gossipsim", "run gossip simulations (single sessions, sweeps, checkpoints, events, metrics; -remote drives a gossipd)"},
+	{"gossipsim run", "execute a declarative scenario file: phased timelines, parameter grids, expected-outcome assertions (DESIGN.md §15)"},
 	{"gossipd", "serve concurrent simulation sessions over HTTP with checkpoint-backed eviction"},
 	{"graphinfo", "report topology structure (Δ, D, α) and dynamic-schedule churn"},
 	{"benchtable", "regenerate the paper's evaluation tables (experiments E1..E27)"},
@@ -104,10 +107,13 @@ in each command's package documentation (` + "`go doc ./cmd/<tool>`" + `).
 }
 
 // captureUsage runs the tool with -h and returns the usage text the
-// flag package prints. The tools exit 0 on -h, so any failure here is a
+// flag package prints. Words after the first are subcommands passed
+// through before -h. The tools exit 0 on -h, so any failure here is a
 // real build or runtime error.
 func captureUsage(tool string) ([]byte, error) {
-	cmd := exec.Command("go", "run", "./cmd/"+tool, "-h")
+	words := strings.Fields(tool)
+	args := append([]string{"run", "./cmd/" + words[0]}, words[1:]...)
+	cmd := exec.Command("go", append(args, "-h")...)
 	out, err := cmd.CombinedOutput()
 	if err != nil {
 		return nil, fmt.Errorf("%s -h: %w\n%s", tool, err, out)

@@ -102,6 +102,9 @@ func main() {
 }
 
 func run(args []string) error {
+	if len(args) > 0 && args[0] == "run" {
+		return runScenario(args[1:])
+	}
 	fs := flag.NewFlagSet("gossipsim", flag.ContinueOnError)
 	var (
 		algName   = fs.String("alg", "sharedbit", "algorithm: "+strings.Join(mobilegossip.AlgorithmNames(), "|"))

@@ -1,0 +1,39 @@
+package main
+
+// CLI-level tests for `gossipsim run`: a violated expect block (or any
+// other scenario failure) must surface as a non-nil error from run(), so
+// main exits nonzero — scenario files are usable as CI assertions.
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"mobilegossip/internal/scenario"
+)
+
+func TestRunScenarioExitsNonzeroOnAssertionFailure(t *testing.T) {
+	err := run([]string{"run", "testdata/bad-expect.yaml"})
+	var aerr *scenario.AssertionError
+	if !errors.As(err, &aerr) {
+		t.Fatalf("run should fail with *scenario.AssertionError, got %T: %v", err, err)
+	}
+	for _, sub := range []string{`scenario "bad-expect"`, "seed 6", "solved_by"} {
+		if !strings.Contains(err.Error(), sub) {
+			t.Errorf("failure %q missing %q", err, sub)
+		}
+	}
+}
+
+func TestRunScenarioArgErrors(t *testing.T) {
+	if err := run([]string{"run"}); err == nil ||
+		!strings.Contains(err.Error(), "exactly one scenario file") {
+		t.Errorf("run with no file should error, got %v", err)
+	}
+	if err := run([]string{"run", "testdata/nope.yaml"}); err == nil {
+		t.Error("run on a missing file should error")
+	}
+	if err := run([]string{"run", "-checkpointat", "x", "testdata/bad-expect.yaml"}); err == nil {
+		t.Error("a bad flag value should error")
+	}
+}

@@ -40,6 +40,7 @@ const (
 	EventSessionCancel     = events.TypeSessionCancel
 	EventSessionEnd        = events.TypeSessionEnd
 	EventRoundProfile      = events.TypeRoundProfile
+	EventTopologyRebound   = events.TypeTopologyRebound
 )
 
 // EventSchema is the wire-format version stamped on serialized events.

@@ -258,8 +258,8 @@ func TestJSONLSinkOnSession(t *testing.T) {
 
 func TestEventTypesSurface(t *testing.T) {
 	types := mobilegossip.EventTypes()
-	if len(types) != 9 {
-		t.Fatalf("EventTypes() = %d types, want 9", len(types))
+	if len(types) != 10 {
+		t.Fatalf("EventTypes() = %d types, want 10", len(types))
 	}
 	for _, ty := range types {
 		back, err := mobilegossip.ParseEventType(ty.String())

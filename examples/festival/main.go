@@ -2,104 +2,45 @@
 //
 // The paper's introduction motivates smartphone peer-to-peer meshes with
 // scenarios like Burning Man — tens of thousands of people, no cell
-// towers, and a crowd in continuous motion. Earlier revisions of this
-// example abstracted that motion as an adversary redrawing a random graph
-// every round; this one simulates the motion itself (internal/mobility):
-// phones walk the festival grounds, the topology each round is whoever is
-// within radio range, and the edge churn the crowd induces is measured,
-// not assumed.
+// towers, and a crowd in continuous motion. The workload lives in
+// scenarios/festival.yaml as a declarative scenario (DESIGN.md §15): one
+// chat wave pushed through three phases of the evening — doors open
+// (random-waypoint roaming), headliner (group motion gathered hard around
+// three stages), closing (commuter walks to the gates) — with the phase
+// switches rebinding the live session's topology at round boundaries.
 //
-// One "chat wave" — k attendees post a message simultaneously, the mesh
-// must deliver every message to everyone — is run through three phases of
-// the evening:
-//
-//   - doors open:  attendees roam the grounds (random waypoint);
-//   - headliner:   the crowd gathers hard around the stages (group motion,
-//     high attraction) — dense mosh pits joined by thin bridges;
-//   - closing:     everyone walks out to the gates (commuter schedules).
-//
-// Each phase compares SharedBit (b = 1, Thm 5.1: O(kn)) with
-// SimSharedBit (b = 1 without shared randomness, Thm 5.6) and BlindMatch
-// (b = 0, Thm 4.1) under the same motion, and reports the per-round edge
-// churn the phase's motion generated.
+// This program is a thin pointer at that file: it runs the exact scenario
+// CI pins (scenarios/golden/festival.table.txt), so its output is
+// byte-identical to `gossipsim run scenarios/festival.yaml`. Edit the
+// YAML, not this file, to change the workload.
 //
 // Run with:
 //
 //	go run ./examples/festival
+//	go run ./examples/festival -remote 127.0.0.1:7373   # same bytes, via gossipd
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
-	"text/tabwriter"
 
-	"mobilegossip"
+	"mobilegossip/internal/scenario"
 )
 
 func main() {
-	short := flag.Bool("short", false, "run a smaller crowd (for CI)")
+	flag.Bool("short", false, "accepted for CI compatibility; the committed scenario is already CI-sized")
+	remote := flag.String("remote", "", "run against the gossipd daemon at this address instead of in-process")
 	flag.Parse()
 
-	const seed = 7
-	crowd, messages := 600, 8 // phones on the grounds, simultaneous posts
-	if *short {
-		crowd, messages = 150, 4
+	path, err := scenario.Locate("festival")
+	if err == nil {
+		err = scenario.RunFile(path, scenario.Options{
+			Remote: *remote, Out: os.Stdout, Log: os.Stderr,
+		})
 	}
-
-	phases := []struct {
-		label string
-		topo  mobilegossip.Topology
-	}{
-		{"doors open (roaming)", mobilegossip.Topology{
-			Kind: mobilegossip.MobileWaypoint, Speed: 0.01, Pause: 3,
-		}},
-		{"headliner (gathered at 3 stages)", mobilegossip.Topology{
-			Kind: mobilegossip.MobileGroup, Groups: 3, Attract: 0.9, Speed: 0.02,
-		}},
-		{"closing (walking out)", mobilegossip.Topology{
-			Kind: mobilegossip.MobileCommuter, Speed: 0.015, Period: 80,
-		}},
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "festival:", err)
+		os.Exit(1)
 	}
-	algs := []mobilegossip.Algorithm{
-		mobilegossip.AlgSharedBit,
-		mobilegossip.AlgSimSharedBit,
-		mobilegossip.AlgBlindMatch,
-	}
-
-	fmt.Printf("festival chat wave: %d posts across %d phones walking the grounds\n", messages, crowd)
-	fmt.Printf("(unit-disk proximity topology, radio range defaulted to mean degree ≈ 8, τ = 1)\n\n")
-
-	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "phase\talgorithm\trounds\tconnections\ttokens moved\tedge churn/round")
-	for _, ph := range phases {
-		for _, alg := range algs {
-			res, err := mobilegossip.Run(mobilegossip.Config{
-				Algorithm: alg,
-				N:         crowd,
-				K:         messages,
-				Topology:  ph.topo,
-				Tau:       1,
-				Seed:      seed,
-			})
-			if err != nil {
-				log.Fatal(err)
-			}
-			if !res.Solved {
-				log.Fatalf("%v did not finish within the round budget in phase %q", alg, ph.label)
-			}
-			churn := float64(res.EdgesAdded+res.EdgesRemoved) / float64(res.Rounds)
-			fmt.Fprintf(tw, "%s\t%v\t%d\t%d\t%d\t%.0f\n",
-				ph.label, alg, res.Rounds, res.Connections, res.TokensMoved, churn)
-		}
-	}
-	if err := tw.Flush(); err != nil {
-		log.Fatal(err)
-	}
-
-	fmt.Println("\nThe advertised bit is what lets SharedBit phones skip pointless")
-	fmt.Println("dials (the paper proves a Ω(Δ²/√α) floor for b = 0, §1); physical")
-	fmt.Println("motion turns out to help rather than hurt — walking mixes each")
-	fmt.Println("phone's neighborhood, so the mesh never stalls on a bad topology.")
 }

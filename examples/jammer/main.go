@@ -1,135 +1,47 @@
-// Jammer: a mesh under active attack.
+// Jammer: a mesh under active attack, then healed.
 //
-// The paper's model (§2) hands the dynamic topology to an *adversary*: the
-// analysis must hold however the connected graph evolves. This scenario
-// makes the adversary literal — a jammer that watches a festival crowd's
-// mesh and cuts radio links every round, within an edge budget (its
-// transmitter power). Four regimes are staged over the same moving crowd:
+// The paper's model (§2) hands the dynamic topology to an *adversary*:
+// the analysis must hold however the connected graph evolves. The
+// workload lives in scenarios/jammer.yaml and makes the adversary
+// literal: a walking crowd gossips quietly, a blackout jammer darkens
+// regions of the grounds on a budget for a 25-round phase, the attack
+// lifts, and the mesh heals to completion — three phases rebinding the
+// adversary schedule at round boundaries, with the expect block asserting
+// the attack delayed but never broke the dissemination.
 //
-//   - no jamming — the benign walking crowd (the E22 baseline);
-//   - blackout  — a catastrophic event darkening one region at a time;
-//   - cutrich   — an *adaptive* jammer that reads the gossip state and
-//     severs the token-richest phones' links first;
-//   - cutrich with 4× the power budget.
-//
-// Then the punchline of the adversary engine's determinism contract: the
-// heaviest jammed run is checkpointed mid-attack, revived from bytes (as
-// examples/blackout does for a host failure), and finishes byte-identically
-// — adversarial schedules, adaptive state reads included, are fully
-// deterministic and resumable.
+// This program is a thin pointer at that file: it runs the exact scenario
+// CI pins (scenarios/golden/jammer.table.txt — and the conformance suite
+// also replays it through a mid-attack checkpoint/resume split), so its
+// output is byte-identical to `gossipsim run scenarios/jammer.yaml`. Edit
+// the YAML, not this file, to change the workload.
 //
 // Run with:
 //
-//	go run ./examples/jammer          # 400 phones
-//	go run ./examples/jammer -short   # CI-sized crowd
+//	go run ./examples/jammer
+//	go run ./examples/jammer -remote 127.0.0.1:7373   # same bytes, via gossipd
 package main
 
 import (
-	"bytes"
-	"context"
 	"flag"
 	"fmt"
-	"log"
 	"os"
-	"text/tabwriter"
 
-	"mobilegossip"
+	"mobilegossip/internal/scenario"
 )
 
 func main() {
-	short := flag.Bool("short", false, "run a smaller crowd (for CI)")
+	flag.Bool("short", false, "accepted for CI compatibility; the committed scenario is already CI-sized")
+	remote := flag.String("remote", "", "run against the gossipd daemon at this address instead of in-process")
 	flag.Parse()
 
-	crowd, posts := 400, 8
-	if *short {
-		crowd, posts = 120, 4
+	path, err := scenario.Locate("jammer")
+	if err == nil {
+		err = scenario.RunFile(path, scenario.Options{
+			Remote: *remote, Out: os.Stdout, Log: os.Stderr,
+		})
 	}
-	budget := crowd / 8
-
-	mkCfg := func(adv mobilegossip.AdversaryKind, b int) mobilegossip.Config {
-		return mobilegossip.Config{
-			Algorithm: mobilegossip.AlgSharedBit,
-			N:         crowd,
-			K:         posts,
-			Topology: mobilegossip.Topology{
-				Kind: mobilegossip.MobileWaypoint, Speed: 0.015,
-				Adversary: adv, AdvBudget: b, AdvParts: 4, AdvPeriod: 6,
-			},
-			Tau:  1,
-			Seed: 27,
-		}
-	}
-
-	// The last regime is the one the checkpoint demonstration below reruns;
-	// its result is captured by matching the (adversary, budget) pair, not
-	// by loop position.
-	heavyAdv, heavyBudget := mobilegossip.AdvCutRich, 4*budget
-	regimes := []struct {
-		label  string
-		adv    mobilegossip.AdversaryKind
-		budget int
-	}{
-		{"no jamming", mobilegossip.AdvNone, 0},
-		{"blackout", mobilegossip.AdvBlackout, budget},
-		{"adaptive cutrich", mobilegossip.AdvCutRich, budget},
-		{"cutrich, 4x power", heavyAdv, heavyBudget},
-	}
-
-	fmt.Printf("festival crowd of %d phones, %d posts; jammer budget %d cut edges/round\n\n",
-		crowd, posts, budget)
-	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "regime\trounds\tconnections\tedge churn (+/-)")
-	var heaviest mobilegossip.Result
-	for _, reg := range regimes {
-		res, err := mobilegossip.Run(mkCfg(reg.adv, reg.budget))
-		if err != nil {
-			log.Fatal(err)
-		}
-		if !res.Solved {
-			log.Fatalf("%s: unsolved after %d rounds", reg.label, res.Rounds)
-		}
-		fmt.Fprintf(tw, "%s\t%d\t%d\t+%d/-%d\n",
-			reg.label, res.Rounds, res.Connections, res.EdgesAdded, res.EdgesRemoved)
-		if reg.adv == heavyAdv && reg.budget == heavyBudget {
-			heaviest = res
-		}
-	}
-	if err := tw.Flush(); err != nil {
-		log.Fatal(err)
-	}
-
-	// Mid-attack checkpoint: the adaptive jammer's cuts depend on the live
-	// token state, yet the whole composition — motion, adversary RNG, token
-	// sets — serializes and resumes byte-identically.
-	cfg := mkCfg(heavyAdv, heavyBudget)
-	sim, err := mobilegossip.New(cfg)
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintln(os.Stderr, "jammer:", err)
+		os.Exit(1)
 	}
-	for sim.Round() < heaviest.Rounds/2 && !sim.Done() {
-		if _, err := sim.Step(); err != nil {
-			log.Fatal(err)
-		}
-	}
-	var snapshot bytes.Buffer
-	if err := sim.Checkpoint(&snapshot); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("\ncheckpointed the heaviest jammed run at round %d (φ=%d, %d bytes)\n",
-		sim.Round(), sim.Potential(), snapshot.Len())
-
-	revived, err := mobilegossip.Resume(&snapshot)
-	if err != nil {
-		log.Fatal(err)
-	}
-	got, err := revived.Run(context.Background())
-	if err != nil {
-		log.Fatal(err)
-	}
-	if got != heaviest {
-		log.Fatalf("resumed jammed run diverged:\n got %+v\nwant %+v", got, heaviest)
-	}
-	fmt.Printf("resumed from bytes and finished at round %d — byte-identical to the \n"+
-		"uninterrupted run: the adversary (adaptive state reads included) is fully \n"+
-		"deterministic, checkpointable, and composes with physical motion.\n", got.Rounds)
 }

@@ -15,6 +15,7 @@ import (
 	"mobilegossip"
 	"mobilegossip/client"
 	"mobilegossip/internal/events"
+	"mobilegossip/internal/outcome"
 	"mobilegossip/internal/runner"
 )
 
@@ -471,6 +472,83 @@ func (d *Daemon) Checkpoint(id string, w io.Writer) error {
 	}
 	s.touch()
 	return s.sim.Checkpoint(w)
+}
+
+// Rebind swaps the session's topology schedule and stability factor at
+// its current round boundary — the service face of Simulation.Rebind,
+// driving phased scenario timelines remotely. The swap happens under the
+// session lock, so it lands exactly between scheduler slices; eviction
+// checkpoints written afterwards carry the new schedule (Rebind updates
+// the session config), which is what keeps evict/revive transparent
+// across a phase boundary.
+func (d *Daemon) Rebind(id string, req client.RebindRequest) (client.SessionInfo, error) {
+	s, err := d.get(id)
+	if err != nil {
+		return client.SessionInfo{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := d.ensureLiveLocked(s); err != nil {
+		return client.SessionInfo{}, err
+	}
+	topo, err := topologyFromWire(req.Topology)
+	if err != nil {
+		return client.SessionInfo{}, err
+	}
+	if err := s.sim.Rebind(topo, req.Tau); err != nil {
+		return client.SessionInfo{}, err
+	}
+	s.topology = s.sim.Result().Topology
+	s.tau = req.Tau
+	s.syncCachedLocked()
+	s.touch()
+	return s.info(), nil
+}
+
+// assertFailure is an assertion violation: HTTP 409, message already
+// formatted by internal/outcome (identical to the local runner's).
+type assertFailure struct{ msg string }
+
+func (e *assertFailure) Error() string { return e.msg }
+
+// Assert evaluates scenario expect assertions against the session's
+// results so far, with the same internal/outcome checker the local
+// scenario runner uses — a scenario cannot pass locally and fail
+// remotely (or vice versa) on evaluation drift.
+func (d *Daemon) Assert(id string, req client.AssertRequest) error {
+	s, err := d.get(id)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := d.ensureLiveLocked(s); err != nil {
+		return err
+	}
+	s.touch()
+	if err := expectFromWire(req.Expect).Validate(); err != nil {
+		return err
+	}
+	r := s.sim.Result()
+	vs := outcome.Check(expectFromWire(req.Expect), outcome.Run{
+		N: s.n, K: s.k, Solved: r.Solved, Rounds: r.Rounds,
+		FinalPotential: r.FinalPotential, TokensMoved: r.TokensMoved,
+		EdgesAdded: r.EdgesAdded, EdgesRemoved: r.EdgesRemoved,
+	})
+	if len(vs) == 0 {
+		return nil
+	}
+	return &assertFailure{msg: outcome.FormatFailure(req.Scenario, req.Seed, req.Phase, vs)}
+}
+
+// expectFromWire maps the self-contained wire shape onto the evaluator's.
+func expectFromWire(e client.ExpectSpec) outcome.Expect {
+	return outcome.Expect{
+		Solved: e.Solved, SolvedBy: e.SolvedBy, MinRounds: e.MinRounds,
+		MaxFinalPotential: e.MaxFinalPotential, MinCoverage: e.MinCoverage,
+		MaxChurnPerRound: e.MaxChurnPerRound,
+		MinTokensMoved:   e.MinTokensMoved, MaxTokensMoved: e.MaxTokensMoved,
+	}
 }
 
 // TokenCount reports how many tokens node u knows, reviving the session

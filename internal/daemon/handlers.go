@@ -25,6 +25,8 @@ func (d *Daemon) Handler() *http.ServeMux {
 	mux.HandleFunc("GET /v1/sessions/{id}", d.handleState)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", d.handleDelete)
 	mux.HandleFunc("POST /v1/sessions/{id}/run", d.handleRun)
+	mux.HandleFunc("POST /v1/sessions/{id}/rebind", d.handleRebind)
+	mux.HandleFunc("POST /v1/sessions/{id}/assert", d.handleAssert)
 	mux.HandleFunc("POST /v1/sessions/{id}/checkpoint", d.handleCheckpoint)
 	mux.HandleFunc("POST /v1/sessions/{id}/cancel", d.handleCancel)
 	mux.HandleFunc("GET /v1/sessions/{id}/tokens", d.handleTokens)
@@ -46,10 +48,11 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // writeErr maps daemon errors onto HTTP statuses and the APIError body.
 func writeErr(w http.ResponseWriter, err error) {
 	status := http.StatusBadRequest
+	var assertErr *assertFailure
 	switch {
 	case errors.Is(err, errNoSession):
 		status = http.StatusNotFound
-	case errors.Is(err, errFailed):
+	case errors.Is(err, errFailed), errors.As(err, &assertErr):
 		status = http.StatusConflict
 	case errors.Is(err, errShuttingDown):
 		status = http.StatusServiceUnavailable
@@ -133,6 +136,37 @@ func (d *Daemon) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
+}
+
+func (d *Daemon) handleRebind(w http.ResponseWriter, r *http.Request) {
+	var req client.RebindRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64*1024))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, fmt.Errorf("decoding rebind request: %w", err))
+		return
+	}
+	info, err := d.Rebind(r.PathValue("id"), req)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (d *Daemon) handleAssert(w http.ResponseWriter, r *http.Request) {
+	var req client.AssertRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64*1024))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, fmt.Errorf("decoding assert request: %w", err))
+		return
+	}
+	if err := d.Assert(r.PathValue("id"), req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
 }
 
 func (d *Daemon) handleCheckpoint(w http.ResponseWriter, r *http.Request) {

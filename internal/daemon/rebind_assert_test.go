@@ -1,0 +1,250 @@
+package daemon
+
+// Tests for the scenario-facing endpoints: POST /rebind (phased
+// timelines switch the topology schedule mid-session) and POST /assert
+// (expected-outcome checks evaluated server-side, failing with 409).
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"strings"
+	"testing"
+
+	"mobilegossip"
+	"mobilegossip/client"
+)
+
+func TestRebindMatchesLocal(t *testing.T) {
+	_, c := newTestDaemon(t, Config{Workers: 2})
+	ctx := context.Background()
+	info, err := c.Create(ctx, testWire(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(ctx, info.ID, 10); err != nil {
+		t.Fatal(err)
+	}
+	rebound, err := c.Rebind(ctx, info.ID, client.RebindRequest{
+		Topology: client.TopologySpec{Kind: "gnp", P: 0.15},
+		Tau:      2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rebound.Round != 10 {
+		t.Fatalf("rebind changed the round: %+v", rebound)
+	}
+	res, err := c.Run(ctx, info.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The same phase switch in-process must agree exactly.
+	sim, err := mobilegossip.New(localConfig(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sim.Round() < 10 {
+		if _, err := sim.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sim.Rebind(mobilegossip.Topology{Kind: mobilegossip.GNP, P: 0.15}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	want := sim.Result()
+	if res.Rounds != want.Rounds || res.FinalPotential != want.FinalPotential ||
+		res.Connections != want.Connections || res.Topology != want.Topology {
+		t.Fatalf("remote rebind diverged from local:\nremote: %+v\nlocal:  %+v", res, want)
+	}
+}
+
+// TestRebindSurvivesEviction: an evicted session revives with the
+// rebound schedule (the checkpoint carries it), not the create-time one.
+func TestRebindSurvivesEviction(t *testing.T) {
+	d, c := newTestDaemon(t, Config{Workers: 2})
+	ctx := context.Background()
+	info, err := c.Create(ctx, testWire(33))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(ctx, info.ID, 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Rebind(ctx, info.ID, client.RebindRequest{
+		Topology: client.TopologySpec{Kind: "cycle"},
+		Tau:      1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := d.get(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.tryEvict(s) {
+		t.Fatal("tryEvict failed on an idle session")
+	}
+	res, err := c.Run(ctx, info.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Topology, "cycle") {
+		t.Fatalf("revived session lost the rebound schedule: %+v", res)
+	}
+}
+
+func TestRebindErrors(t *testing.T) {
+	_, c := newTestDaemon(t, Config{Workers: 2})
+	ctx := context.Background()
+	if _, err := c.Rebind(ctx, "nope", client.RebindRequest{
+		Topology: client.TopologySpec{Kind: "cycle"},
+	}); err == nil {
+		t.Fatal("rebind on a missing session should 404")
+	}
+	info, err := c.Create(ctx, testWire(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Rebind(ctx, info.ID, client.RebindRequest{
+		Topology: client.TopologySpec{Kind: "warp"},
+	})
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || !strings.Contains(apiErr.Message, "unknown topology") {
+		t.Fatalf("bad topology kind should surface as APIError, got %v", err)
+	}
+}
+
+func TestAssertPassAndFail(t *testing.T) {
+	_, c := newTestDaemon(t, Config{Workers: 2})
+	ctx := context.Background()
+	info, err := c.Create(ctx, testWire(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(ctx, info.ID, 0); err != nil {
+		t.Fatal(err)
+	}
+	solved := true
+	if err := c.Assert(ctx, info.ID, client.AssertRequest{
+		Scenario: "wiretest", Seed: 8,
+		Expect: client.ExpectSpec{Solved: &solved},
+	}); err != nil {
+		t.Fatalf("passing assertion errored: %v", err)
+	}
+
+	err = c.Assert(ctx, info.ID, client.AssertRequest{
+		Scenario: "wiretest", Seed: 8, Phase: "steady",
+		Expect: client.ExpectSpec{SolvedBy: 1},
+	})
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("failing assertion should be an APIError, got %v", err)
+	}
+	if apiErr.Status != 409 {
+		t.Fatalf("assertion failure status = %d, want 409", apiErr.Status)
+	}
+	// The failure text is the shared outcome.FormatFailure rendering:
+	// scenario, seed, phase, and a diff-style detail line.
+	for _, sub := range []string{`"wiretest"`, "seed 8", `phase "steady"`, "solved_by", "expected rounds ≤"} {
+		if !strings.Contains(apiErr.Message, sub) {
+			t.Errorf("assertion failure %q missing %q", apiErr.Message, sub)
+		}
+	}
+}
+
+func TestAssertValidatesExpectation(t *testing.T) {
+	_, c := newTestDaemon(t, Config{Workers: 2})
+	ctx := context.Background()
+	info, err := c.Create(ctx, testWire(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = c.Assert(ctx, info.ID, client.AssertRequest{
+		Expect: client.ExpectSpec{SolvedBy: -3},
+	})
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status == 409 {
+		t.Fatalf("invalid expectation should be a 400-class APIError, not an assertion failure: %v", err)
+	}
+}
+
+// TestAssertChecksDerivedMetrics drives a short run and asserts on the
+// churn/coverage numbers the daemon must derive from the live result.
+func TestAssertChecksDerivedMetrics(t *testing.T) {
+	_, c := newTestDaemon(t, Config{Workers: 2})
+	ctx := context.Background()
+	// A mobility topology: edge churn is a delta-tracked quantity, so the
+	// churn assertion has something to measure.
+	info, err := c.Create(ctx, client.CreateRequest{
+		Algorithm: "sharedbit", N: 48, K: 4,
+		Topology: client.TopologySpec{Kind: "waypoint", Speed: 0.03},
+		Tau:      1, Seed: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(ctx, info.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solved {
+		t.Fatalf("run did not solve: %+v", res)
+	}
+	if err := c.Assert(ctx, info.ID, client.AssertRequest{
+		Seed: 12,
+		Expect: client.ExpectSpec{
+			MinCoverage:    1.0,
+			MinTokensMoved: 1,
+		},
+	}); err != nil {
+		t.Fatalf("solved run has full coverage; assert errored: %v", err)
+	}
+	err = c.Assert(ctx, info.ID, client.AssertRequest{
+		Seed:   12,
+		Expect: client.ExpectSpec{MaxChurnPerRound: 0.001},
+	})
+	if err == nil {
+		t.Fatal("τ=1 run churns every round; max_churn_per_round 0.001 must fail")
+	}
+	if !strings.Contains(err.Error(), "max_churn_per_round") {
+		t.Fatalf("failure should name the assertion, got %v", err)
+	}
+}
+
+// TestAssertOverHTTPBody pins the raw 409 wire shape scenario runners
+// parse: a JSON APIError body.
+func TestAssertOverHTTPBody(t *testing.T) {
+	d, _ := newTestDaemon(t, Config{Workers: 2})
+	info, err := d.Create(testWire(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Run(context.Background(), info.ID, 0); err != nil {
+		t.Fatal(err)
+	}
+	err = d.Assert(info.ID, client.AssertRequest{
+		Scenario: "x", Seed: 3,
+		Expect: client.ExpectSpec{SolvedBy: 1},
+	})
+	var af *assertFailure
+	if !errors.As(err, &af) {
+		t.Fatalf("daemon assert failure should be *assertFailure, got %T", err)
+	}
+	var buf bytes.Buffer
+	writeErr(&fakeResponse{&buf}, err)
+	if !bytes.Contains(buf.Bytes(), []byte(`"error"`)) {
+		t.Fatalf("409 body should be an APIError JSON object, got %s", buf.Bytes())
+	}
+}
+
+// fakeResponse adapts a buffer to http.ResponseWriter for writeErr.
+type fakeResponse struct{ w *bytes.Buffer }
+
+func (f *fakeResponse) Header() http.Header         { return http.Header{} }
+func (f *fakeResponse) Write(p []byte) (int, error) { return f.w.Write(p) }
+func (f *fakeResponse) WriteHeader(statusCode int)  {}

@@ -55,8 +55,8 @@ func TestFilterMatchAllocs(t *testing.T) {
 
 func TestTypeNamesRoundTrip(t *testing.T) {
 	types := Types()
-	if len(types) != 9 {
-		t.Fatalf("Types() = %d types, want 9", len(types))
+	if len(types) != 10 {
+		t.Fatalf("Types() = %d types, want 10", len(types))
 	}
 	for _, ty := range types {
 		name := ty.String()

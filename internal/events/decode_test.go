@@ -58,9 +58,9 @@ func TestUnmarshalEventAcceptsV1(t *testing.T) {
 
 func TestUnmarshalEventRejects(t *testing.T) {
 	cases := []string{
-		`{"v":3,"type":"round_completed","round":1}`, // future schema
+		`{"v":4,"type":"round_completed","round":1}`, // future schema
 		`{"v":0,"type":"round_completed","round":1}`, // below range
-		`{"v":2,"type":"warp_drive","round":1}`,      // unknown type
+		`{"v":3,"type":"warp_drive","round":1}`,      // unknown type
 		`{not json`,
 	}
 	for _, line := range cases {

@@ -17,7 +17,9 @@ import (
 //
 //	1 — the PR 7 taxonomy: session_start through session_end.
 //	2 — round_profile event; write_ns on checkpoint_written.
-const Schema = 2
+//	3 — topology_rebound event (phased scenarios swapping the schedule
+//	    mid-run, see Simulation.Rebind and DESIGN.md §15).
+const Schema = 3
 
 // Type identifies one kind of session event. The full taxonomy — which
 // fields each type carries and where it is emitted — is tabulated in
@@ -58,6 +60,12 @@ const (
 	// stall detector's health verdict. Schema 2; appended after the v1
 	// types so their wire numbers are unchanged.
 	TypeRoundProfile
+	// TypeTopologyRebound fires when Simulation.Rebind swaps the topology
+	// schedule at a round boundary (a phased scenario entering its next
+	// phase). Round/Potential are the boundary's; Topology is the new
+	// schedule's self-description. Schema 3; appended after the v2 types
+	// so their wire numbers are unchanged.
+	TypeTopologyRebound
 
 	numTypes
 )
@@ -72,6 +80,7 @@ var typeNames = [numTypes]string{
 	TypeSessionCancel:     "session_cancel",
 	TypeSessionEnd:        "session_end",
 	TypeRoundProfile:      "round_profile",
+	TypeTopologyRebound:   "topology_rebound",
 }
 
 // Types enumerates every event type, in declaration (lifecycle) order.
@@ -141,7 +150,9 @@ type Event struct {
 	// (TypeRoundCompleted).
 	Done bool
 
-	// Session identity (TypeSessionStart, TypeSessionEnd).
+	// Session identity (TypeSessionStart, TypeSessionEnd). Topology also
+	// carries the new schedule's self-description on
+	// TypeTopologyRebound.
 	N         int
 	K         int
 	Algorithm string
@@ -229,6 +240,9 @@ func (ev Event) AppendJSON(buf []byte) []byte {
 		buf = appendStringField(buf, "topology", ev.Topology)
 	case TypeCheckpointResumed, TypeSessionCancel:
 		buf = appendIntField(buf, "potential", int64(ev.Potential))
+	case TypeTopologyRebound:
+		buf = appendIntField(buf, "potential", int64(ev.Potential))
+		buf = appendStringField(buf, "topology", ev.Topology)
 	case TypeCheckpointWritten:
 		buf = appendIntField(buf, "potential", int64(ev.Potential))
 		buf = appendIntField(buf, "write_ns", ev.WriteNanos)

@@ -22,6 +22,8 @@ func TestJSONLSinkGolden(t *testing.T) {
 	b.Publish(Event{Type: TypeCheckpointResumed, Round: 40, Potential: 31})
 	b.Publish(Event{Type: TypeChurnApplied, Round: 41, EdgesAdded: 3, EdgesRemoved: 2})
 	b.Publish(Event{Type: TypeAdversaryEpoch, Round: 41, Epoch: 5})
+	b.Publish(Event{Type: TypeTopologyRebound, Round: 41, Potential: 30,
+		Topology: "group(g=3, a=0.90, v=0.020)τ=1"})
 	b.Publish(Event{Type: TypeRoundCompleted, Round: 41, Potential: 30, Connections: 4,
 		Proposals: 6, ControlBits: 12, TokensMoved: 1, EdgesAdded: 3, EdgesRemoved: 2})
 	b.Publish(Event{Type: TypeCheckpointWritten, Round: 41, Potential: 30})
@@ -36,15 +38,16 @@ func TestJSONLSinkGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := []string{
-		`{"v":2,"type":"session_start","round":0,"potential":56,"n":8,"k":8,"algorithm":"sharedbit","topology":"regular(d=4, τ=1)"}`,
-		`{"v":2,"type":"checkpoint_resumed","round":40,"potential":31}`,
-		`{"v":2,"type":"churn_applied","round":41,"edges_added":3,"edges_removed":2}`,
-		`{"v":2,"type":"adversary_epoch","round":41,"epoch":5}`,
-		`{"v":2,"type":"round_completed","round":41,"potential":30,"connections":4,"proposals":6,"control_bits":12,"tokens_moved":1,"edges_added":3,"edges_removed":2,"done":false}`,
-		`{"v":2,"type":"checkpoint_written","round":41,"potential":30,"write_ns":0}`,
-		`{"v":2,"type":"session_cancel","round":41,"potential":30}`,
-		`{"v":2,"type":"round_profile","round":41,"round_ns":52000,"churn_ns":2000,"proposal_ns":30000,"exchange_ns":15000,"reduction_ns":4000,"workers":4,"imbalance_milli":1250,"barrier_ns":9000,"health":"converging"}`,
-		`{"v":2,"type":"session_end","round":77,"potential":0,"solved":true,"connections":300,"proposals":450,"control_bits":900,"tokens_moved":56,"edges_added":0,"edges_removed":0}`,
+		`{"v":3,"type":"session_start","round":0,"potential":56,"n":8,"k":8,"algorithm":"sharedbit","topology":"regular(d=4, τ=1)"}`,
+		`{"v":3,"type":"checkpoint_resumed","round":40,"potential":31}`,
+		`{"v":3,"type":"churn_applied","round":41,"edges_added":3,"edges_removed":2}`,
+		`{"v":3,"type":"adversary_epoch","round":41,"epoch":5}`,
+		`{"v":3,"type":"topology_rebound","round":41,"potential":30,"topology":"group(g=3, a=0.90, v=0.020)τ=1"}`,
+		`{"v":3,"type":"round_completed","round":41,"potential":30,"connections":4,"proposals":6,"control_bits":12,"tokens_moved":1,"edges_added":3,"edges_removed":2,"done":false}`,
+		`{"v":3,"type":"checkpoint_written","round":41,"potential":30,"write_ns":0}`,
+		`{"v":3,"type":"session_cancel","round":41,"potential":30}`,
+		`{"v":3,"type":"round_profile","round":41,"round_ns":52000,"churn_ns":2000,"proposal_ns":30000,"exchange_ns":15000,"reduction_ns":4000,"workers":4,"imbalance_milli":1250,"barrier_ns":9000,"health":"converging"}`,
+		`{"v":3,"type":"session_end","round":77,"potential":0,"solved":true,"connections":300,"proposals":450,"control_bits":900,"tokens_moved":56,"edges_added":0,"edges_removed":0}`,
 	}
 	got := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
 	if len(got) != len(want) {

@@ -40,6 +40,7 @@ type Collector struct {
 	edgesRemoved atomic.Int64
 	churnRounds  atomic.Int64
 	advEpochs    atomic.Int64
+	rebinds      atomic.Int64
 
 	firstRound atomic.Int64 // unix nanos of the first observed round
 	lastRound  atomic.Int64 // unix nanos of the latest observed round
@@ -100,6 +101,8 @@ func (c *Collector) Observe(ev Event) {
 		c.churnRounds.Add(1)
 	case TypeAdversaryEpoch:
 		c.advEpochs.Add(1)
+	case TypeTopologyRebound:
+		c.rebinds.Add(1)
 	case TypeCheckpointWritten:
 		c.checkpoints.Add(1)
 		if ev.WriteNanos > 0 {
@@ -172,6 +175,7 @@ func (c *Collector) metricRows() []metricRow {
 		{"mobilegossip_edges_removed_total", "counter", "Topology edges removed by dynamic schedules.", float64(c.edgesRemoved.Load())},
 		{"mobilegossip_churn_rounds_total", "counter", "Rounds whose topology changed.", float64(c.churnRounds.Load())},
 		{"mobilegossip_adversary_epochs_total", "counter", "Adversary perturbation epochs entered.", float64(c.advEpochs.Load())},
+		{"mobilegossip_topology_rebinds_total", "counter", "Mid-run topology schedule swaps (phased scenarios).", float64(c.rebinds.Load())},
 		{"mobilegossip_events_dropped_total", "counter", "Events dropped by bounded subscriber queues.", float64(c.Dropped())},
 	}
 }

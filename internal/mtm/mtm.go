@@ -315,6 +315,21 @@ func (e *Engine) NodeRNG(u NodeID) *prand.RNG { return e.rngs[u] }
 // can be attached to an already-constructed engine at a round boundary.
 func (e *Engine) SetProtocol(p Protocol) { e.proto = p }
 
+// SetDynamic swaps the topology schedule the engine reads from, at a
+// round boundary. The replacement must describe the same node count; the
+// next Step queries it at the engine's global round number, so schedules
+// that track motion (internal/mobility) fast-forward deterministically
+// into position. This is the engine half of phased scenarios
+// (Simulation.Rebind): the round counter, meters, RNG streams and
+// protocol state all survive the swap untouched.
+func (e *Engine) SetDynamic(dyn dyngraph.Dynamic) {
+	if dyn.N() != e.dyn.N() {
+		panic("mtm: SetDynamic with a different node count")
+	}
+	e.dyn = dyn
+	e.deltaDyn, _ = dyn.(dyngraph.DeltaDynamic)
+}
+
 // SetWorkers retunes the shard-parallel backend at a round boundary
 // (w ≤ 1 selects the sequential path). Worker count affects wall-clock
 // only, never results, so it is valid to change mid-run or after a

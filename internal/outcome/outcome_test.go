@@ -1,0 +1,123 @@
+package outcome
+
+import (
+	"strings"
+	"testing"
+)
+
+func boolp(b bool) *bool { return &b }
+func intp(i int) *int    { return &i }
+
+var solvedRun = Run{
+	N: 100, K: 10, Solved: true, Rounds: 250, FinalPotential: 0,
+	TokensMoved: 990, EdgesAdded: 400, EdgesRemoved: 380,
+}
+
+func TestCheckPasses(t *testing.T) {
+	e := Expect{
+		Solved: boolp(true), SolvedBy: 300, MinRounds: 100,
+		MaxFinalPotential: intp(0), MinCoverage: 1,
+		MaxChurnPerRound: 4, MinTokensMoved: 990, MaxTokensMoved: 2000,
+	}
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if v := Check(e, solvedRun); len(v) != 0 {
+		t.Fatalf("violations on a conforming run: %v", v)
+	}
+	if got := e.Count(); got != 8 {
+		t.Fatalf("Count() = %d, want 8", got)
+	}
+	if e.Empty() {
+		t.Fatal("Empty() on a fully-set Expect")
+	}
+	if !(Expect{}).Empty() {
+		t.Fatal("zero Expect not Empty()")
+	}
+}
+
+// TestCheckViolations drives every assertion to failure one at a time and
+// checks the violation names the spec field with an expected/got detail.
+func TestCheckViolations(t *testing.T) {
+	unsolved := Run{N: 100, K: 10, Solved: false, Rounds: 500,
+		FinalPotential: 120, TokensMoved: 880, EdgesAdded: 4000, EdgesRemoved: 4000}
+	cases := []struct {
+		e         Expect
+		r         Run
+		assertion string
+		detail    string
+	}{
+		{Expect{Solved: boolp(true)}, unsolved, "solved", "solved=false"},
+		{Expect{SolvedBy: 400}, unsolved, "solved_by", "unsolved after 500 rounds"},
+		{Expect{SolvedBy: 200}, solvedRun, "solved_by", "rounds ≤ 200, got 250"},
+		{Expect{MinRounds: 300}, solvedRun, "min_rounds", "rounds ≥ 300, got 250"},
+		{Expect{MaxFinalPotential: intp(100)}, unsolved, "max_final_potential", "φ ≤ 100, got 120"},
+		{Expect{MinCoverage: 0.95}, unsolved, "min_coverage", "0.8800"},
+		{Expect{MaxChurnPerRound: 10}, unsolved, "max_churn_per_round", "got 16.00"},
+		{Expect{MinTokensMoved: 990}, unsolved, "min_tokens_moved", "got 880"},
+		{Expect{MaxTokensMoved: 500}, unsolved, "max_tokens_moved", "got 880"},
+	}
+	for _, tc := range cases {
+		vs := Check(tc.e, tc.r)
+		if len(vs) != 1 {
+			t.Fatalf("%+v: %d violations, want 1: %v", tc.e, len(vs), vs)
+		}
+		if vs[0].Assertion != tc.assertion {
+			t.Errorf("assertion %q, want %q", vs[0].Assertion, tc.assertion)
+		}
+		if !strings.Contains(vs[0].Detail, tc.detail) {
+			t.Errorf("%s detail %q missing %q", tc.assertion, vs[0].Detail, tc.detail)
+		}
+		if !strings.Contains(vs[0].String(), tc.assertion+": ") {
+			t.Errorf("String() = %q lacks assertion prefix", vs[0].String())
+		}
+	}
+}
+
+func TestCheckCollectsAllViolations(t *testing.T) {
+	e := Expect{Solved: boolp(false), SolvedBy: 100, MinTokensMoved: 5000}
+	vs := Check(e, solvedRun)
+	if len(vs) != 3 {
+		t.Fatalf("%d violations, want 3 (solved, solved_by, min_tokens_moved): %v", len(vs), vs)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		e    Expect
+		want string
+	}{
+		{Expect{SolvedBy: -1}, "expect.solved_by"},
+		{Expect{MinRounds: -2}, "expect.min_rounds"},
+		{Expect{SolvedBy: 10, MinRounds: 20}, "no run can satisfy both"},
+		{Expect{MaxFinalPotential: intp(-1)}, "expect.max_final_potential"},
+		{Expect{MinCoverage: 1.5}, "outside [0, 1]"},
+		{Expect{MinCoverage: -0.1}, "outside [0, 1]"},
+		{Expect{MaxChurnPerRound: -3}, "expect.max_churn_per_round"},
+		{Expect{MinTokensMoved: -1}, "non-negative"},
+		{Expect{MinTokensMoved: 10, MaxTokensMoved: 5}, "exceeds expect.max_tokens_moved"},
+	}
+	for _, tc := range cases {
+		err := tc.e.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Validate(%+v) = %v, want error containing %q", tc.e, err, tc.want)
+		}
+	}
+	if err := (Expect{}).Validate(); err != nil {
+		t.Errorf("zero Expect invalid: %v", err)
+	}
+}
+
+func TestRunDerivedMetrics(t *testing.T) {
+	r := Run{N: 10, K: 4, FinalPotential: 8, Rounds: 20, EdgesAdded: 30, EdgesRemoved: 10}
+	if got := r.Coverage(); got != 0.8 {
+		t.Fatalf("Coverage() = %v, want 0.8", got)
+	}
+	if got := r.ChurnPerRound(); got != 2 {
+		t.Fatalf("ChurnPerRound() = %v, want 2", got)
+	}
+	var zero Run
+	if zero.Coverage() != 0 || zero.ChurnPerRound() != 0 {
+		t.Fatal("zero run must not divide by zero")
+	}
+}

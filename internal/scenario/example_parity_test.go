@@ -1,0 +1,70 @@
+package scenario_test
+
+// Example-parity: the examples/ programs that point at committed
+// scenarios must print byte-for-byte the scenario runner's output — the
+// same bytes the golden conformance suite pins. A drifting example (or a
+// broken Locate walk) fails here, not in a reader's terminal.
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"mobilegossip/internal/scenario"
+)
+
+// scenarioExamples maps each slimmed example to the scenario it runs.
+var scenarioExamples = []string{"festival", "disaster", "jammer", "metropolis"}
+
+func TestExampleParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and runs each example via `go run`; covered by the full suite")
+	}
+	root := filepath.Dir(scenariosDir(t))
+	for _, name := range scenarioExamples {
+		t.Run(name, func(t *testing.T) {
+			want, err := os.ReadFile(filepath.Join(scenariosDir(t), "golden", name+".table.txt"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cmd := exec.Command("go", "run", "./examples/"+name, "-short")
+			cmd.Dir = root
+			var out, errb bytes.Buffer
+			cmd.Stdout = &out
+			cmd.Stderr = &errb
+			if err := cmd.Run(); err != nil {
+				t.Fatalf("go run ./examples/%s: %v\n%s", name, err, errb.String())
+			}
+			compare(t, "example stdout vs scenario golden", out.Bytes(), want)
+		})
+	}
+}
+
+// TestLocateFindsLibraryFromSubdirs pins the upward walk the examples
+// rely on: Locate resolves the same file from the repository root and
+// from a nested directory, and errors clearly outside the repository.
+func TestLocateFindsLibraryFromSubdirs(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chdir(wd) })
+
+	// This test runs from internal/scenario — two levels under the root.
+	p, err := scenario.Locate("festival")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := filepath.Join(scenariosDir(t), "festival.yaml"); p != want {
+		t.Fatalf("Locate = %q, want %q", p, want)
+	}
+
+	if err := os.Chdir(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := scenario.Locate("festival"); err == nil {
+		t.Fatal("Locate outside the repository should error")
+	}
+}

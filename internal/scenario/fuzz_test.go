@@ -1,0 +1,72 @@
+package scenario
+
+// FuzzScenarioSpec hammers the scenario reader with arbitrary bytes. Two
+// properties hold for every input:
+//
+//   - Parse never panics: malformed YAML, hostile indentation, and
+//     garbage numerics all come back as errors.
+//   - Valid inputs round-trip to a fixed point: Parse → EncodeYAML →
+//     Parse → EncodeYAML emits the same bytes both times, so the
+//     canonical form really is canonical.
+
+import (
+	"bytes"
+	"testing"
+)
+
+func FuzzScenarioSpec(f *testing.F) {
+	f.Add([]byte(minimalYAML))
+	f.Add([]byte(`version: 1
+name: phased
+seed: 7
+algorithm: simsharedbit
+n: 32
+k: 4
+tau: 1
+topology:
+  kind: waypoint
+  speed: 0.01
+phases:
+  - name: a
+    rounds: 5
+  - name: b
+    tau: 0
+    topology:
+      kind: complete
+expect:
+  solved: true
+  solved_by: 100
+`))
+	f.Add([]byte(`version: 1
+name: grid
+seed: 1
+algorithm: blindmatch
+topology:
+  kind: gnp
+  p: 0.25
+grid:
+  n: [8, 16]
+  k: [1, 2]
+  trials: 3
+`))
+	f.Add([]byte(`{"version": 1, "name": "j", "seed": 2, "algorithm": "sharedbit", "n": 4, "k": 1, "topology": {"kind": "cycle"}}`))
+	f.Add([]byte("version: 1\nname: \"x\"\n"))
+	f.Add([]byte("a:\n  - b: 1\n"))
+	f.Add([]byte("\xff\xfe garbage"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := Parse(data) // must not panic
+		if err != nil {
+			return
+		}
+		once := spec.EncodeYAML()
+		spec2, err := Parse(once)
+		if err != nil {
+			t.Fatalf("canonical emission failed to re-parse: %v\ninput:\n%s\nemitted:\n%s", err, data, once)
+		}
+		twice := spec2.EncodeYAML()
+		if !bytes.Equal(once, twice) {
+			t.Fatalf("EncodeYAML not a fixed point:\ninput:\n%s\nfirst:\n%s\nsecond:\n%s", data, once, twice)
+		}
+	})
+}

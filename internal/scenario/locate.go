@@ -1,0 +1,29 @@
+package scenario
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Locate resolves the committed library scenario <name>.yaml by searching
+// the working directory and its ancestors for a scenarios/ directory.
+// Examples and tools run from anywhere inside the repository find the
+// same file `gossipsim run scenarios/<name>.yaml` would from the root.
+func Locate(name string) (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		p := filepath.Join(dir, "scenarios", name+".yaml")
+		if _, err := os.Stat(p); err == nil {
+			return p, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("scenario %q: no scenarios/%s.yaml in the working directory or any parent", name, name)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,227 @@
+package scenario_test
+
+// Assertion-failure paths of the runner: a violated expect block is a
+// *scenario.AssertionError locally and a *client.APIError (HTTP 409)
+// remotely — carrying the exact same outcome.FormatFailure text, so a
+// scenario that fails its assertions reads identically however it ran.
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mobilegossip/client"
+	"mobilegossip/internal/scenario"
+)
+
+// failingYAML ends in phase "finish" and demands a 1-round solve no
+// sharedbit run can deliver, so the expect block always trips.
+const failingYAML = `version: 1
+name: failing
+seed: 4
+algorithm: sharedbit
+n: 12
+k: 2
+tau: 1
+topology:
+  kind: complete
+phases:
+  - name: warmup
+    rounds: 2
+  - name: finish
+    topology:
+      kind: complete
+expect:
+  solved: true
+  solved_by: 1
+`
+
+func parseFailing(t *testing.T) *scenario.Spec {
+	t.Helper()
+	spec, err := scenario.Parse([]byte(failingYAML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+func runFailing(t *testing.T, opts scenario.Options) error {
+	t.Helper()
+	opts.Out = io.Discard
+	opts.Log = io.Discard
+	err := scenario.Run(parseFailing(t), opts)
+	if err == nil {
+		t.Fatal("a violated expect block must fail the run")
+	}
+	return err
+}
+
+func TestAssertionFailureLocal(t *testing.T) {
+	err := runFailing(t, scenario.Options{})
+	var aerr *scenario.AssertionError
+	if !errors.As(err, &aerr) {
+		t.Fatalf("local failure should be *AssertionError, got %T: %v", err, err)
+	}
+	if aerr.Scenario != "failing" || aerr.Seed != 4 || aerr.Phase != "finish" {
+		t.Fatalf("AssertionError fields = %+v", aerr)
+	}
+	// The diff-style message names the scenario, seed, ending phase, the
+	// violated assertion, and what was expected vs observed.
+	for _, sub := range []string{
+		`scenario "failing"`, "seed 4", `phase "finish"`,
+		"solved_by", "expected rounds ≤ 1",
+	} {
+		if !strings.Contains(err.Error(), sub) {
+			t.Errorf("failure %q missing %q", err, sub)
+		}
+	}
+}
+
+// TestAssertionFailureRemote: the same scenario against gossipd comes
+// back as a 409 APIError whose message is byte-identical to the local
+// AssertionError's — the daemon runs the same outcome checker.
+func TestAssertionFailureRemote(t *testing.T) {
+	localErr := runFailing(t, scenario.Options{})
+	remoteErr := runFailing(t, scenario.Options{Remote: startDaemon(t)})
+	var apiErr *client.APIError
+	if !errors.As(remoteErr, &apiErr) {
+		t.Fatalf("remote failure should be *client.APIError, got %T: %v", remoteErr, remoteErr)
+	}
+	if apiErr.Status != 409 {
+		t.Fatalf("assertion failure status = %d, want 409", apiErr.Status)
+	}
+	if apiErr.Message != localErr.Error() {
+		t.Fatalf("remote failure text diverged from local:\nremote: %q\nlocal:  %q",
+			apiErr.Message, localErr.Error())
+	}
+}
+
+// TestAssertionFailureGrid: grid cells are checked too, and the failure
+// names the cell's derived sweep seed rather than the base seed.
+func TestAssertionFailureGrid(t *testing.T) {
+	spec, err := scenario.Parse([]byte(`version: 1
+name: failing-grid
+seed: 9
+algorithm: blindmatch
+topology:
+  kind: complete
+grid:
+  n: [8]
+  k: [2]
+  trials: 1
+expect:
+  solved_by: 1
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = scenario.Run(spec, scenario.Options{Out: io.Discard, Log: io.Discard})
+	var aerr *scenario.AssertionError
+	if !errors.As(err, &aerr) {
+		t.Fatalf("grid failure should be *AssertionError, got %T: %v", err, err)
+	}
+	if aerr.Seed == 9 {
+		t.Fatal("grid failure should carry the cell's derived sweep seed, not the base seed")
+	}
+}
+
+// TestFinalCheckpoint: CheckpointAt 0 snapshots when the run finishes,
+// and the local and remote end-of-run snapshots are byte-identical.
+func TestFinalCheckpoint(t *testing.T) {
+	spec, err := scenario.Parse([]byte(`version: 1
+name: final-ckpt
+seed: 2
+algorithm: sharedbit
+n: 8
+k: 2
+tau: 1
+topology:
+  kind: complete
+expect:
+  solved: true
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp := t.TempDir()
+	local := filepath.Join(tmp, "local.ckpt")
+	var out bytes.Buffer
+	if err := scenario.Run(spec, scenario.Options{
+		CheckpointPath: local, Out: &out, Log: io.Discard,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// A single-assertion expect block reads in the singular.
+	if !strings.Contains(out.String(), "expect: ok (1 check)\n") {
+		t.Fatalf("output missing singular expect summary:\n%s", out.String())
+	}
+
+	remote := filepath.Join(tmp, "remote.ckpt")
+	if err := scenario.Run(spec, scenario.Options{
+		Remote: startDaemon(t), CheckpointPath: remote,
+		Out: io.Discard, Log: io.Discard,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	lb, err := os.ReadFile(local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := os.ReadFile(remote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(lb, rb) {
+		t.Fatal("end-of-run checkpoints differ local vs remote")
+	}
+}
+
+func TestRunFileErrors(t *testing.T) {
+	if err := scenario.RunFile(filepath.Join(t.TempDir(), "nope.yaml"), scenario.Options{}); err == nil {
+		t.Error("RunFile on a missing path should error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.yaml")
+	if err := os.WriteFile(bad, []byte("version: 9\nname: x\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := scenario.RunFile(bad, scenario.Options{})
+	if err == nil || !strings.Contains(err.Error(), "unsupported version") {
+		t.Errorf("RunFile on an invalid spec should surface validation, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "bad.yaml") {
+		t.Errorf("file-level error should name the file, got %v", err)
+	}
+}
+
+// TestGridRejectsSingleRunOptions: checkpoints/events are single-run
+// machinery; asking for them on a grid is an execution error, not an
+// assertion failure.
+func TestGridRejectsSingleRunOptions(t *testing.T) {
+	spec, err := scenario.Parse([]byte(`version: 1
+name: g
+seed: 1
+algorithm: blindmatch
+topology:
+  kind: complete
+grid:
+  n: [4]
+  k: [1]
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = scenario.Run(spec, scenario.Options{
+		CheckpointPath: "x.ckpt", Out: io.Discard, Log: io.Discard,
+	})
+	if err == nil || !strings.Contains(err.Error(), "single runs, not grids") {
+		t.Fatalf("grid with -checkpoint should be refused, got %v", err)
+	}
+	var aerr *scenario.AssertionError
+	if errors.As(err, &aerr) {
+		t.Fatal("option misuse must not masquerade as an assertion failure")
+	}
+}

@@ -1,0 +1,93 @@
+package scenario
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// yj translates and fails the test on error.
+func yj(t *testing.T, src string) string {
+	t.Helper()
+	out, err := yamlToJSON([]byte(src))
+	if err != nil {
+		t.Fatalf("yamlToJSON(%q): %v", src, err)
+	}
+	if !json.Valid(out) {
+		t.Fatalf("yamlToJSON(%q) produced invalid JSON: %s", src, out)
+	}
+	return string(out)
+}
+
+func TestYAMLToJSONValues(t *testing.T) {
+	cases := []struct{ yaml, json string }{
+		{"a: 1", `{"a":1}`},
+		{"a: -7", `{"a":-7}`},
+		{"a: 0.25", `{"a":0.25}`},
+		{"a: hello", `{"a":"hello"}`},
+		{"a: true\nb: false", `{"a":true,"b":false}`},
+		{"a: null\nb: ~\nc:", `{"a":null,"b":null,"c":null}`},
+		{"a: \"quoted: text\"", `{"a":"quoted: text"}`},
+		{"a: 'it''s'", `{"a":"it's"}`},
+		{"a: [1, 2, 3]", `{"a":[1,2,3]}`},
+		{"a: []", `{"a":[]}`},
+		{"a: 18446744073709551615", `{"a":18446744073709551615}`},
+		// Comments and blank lines vanish.
+		{"# header\na: 1\n\n# mid\nb: 2 # trailing", `{"a":1,"b":2}`},
+		// Nested mappings by indentation.
+		{"a:\n  b: 1\n  c:\n    d: x", `{"a":{"b":1,"c":{"d":"x"}}}`},
+		// Block sequences, at the key's own indent and deeper.
+		{"a:\n- 1\n- 2", `{"a":[1,2]}`},
+		{"a:\n  - 1\n  - 2", `{"a":[1,2]}`},
+		// Sequence of mappings, fields on the dash line.
+		{"a:\n  - b: 1\n    c: 2\n  - b: 3", `{"a":[{"b":1,"c":2},{"b":3}]}`},
+		// Document markers are tolerated.
+		{"---\na: 1\n...", `{"a":1}`},
+		// JSON passthrough.
+		{`{"a": 1}`, `{"a": 1}`},
+	}
+	for _, c := range cases {
+		if got := strings.TrimSpace(yj(t, c.yaml)); got != c.json {
+			t.Errorf("yamlToJSON(%q) = %s, want %s", c.yaml, got, c.json)
+		}
+	}
+}
+
+func TestYAMLToJSONErrors(t *testing.T) {
+	cases := []struct{ yaml, wantSub string }{
+		{"a: 1\na: 2", "duplicate key"},
+		{"\ta: 1", "tab"},
+		{"a: &anchor 1", "anchors"},
+		{"a: *ref", "aliases"},
+		{"a: |\n  text", "block scalars"},
+		{"a: >\n  text", "block scalars"},
+		{"%YAML 1.2\na: 1", "directive"},
+		{"a: {b: 1}", "flow mapping"},
+		{"a: 1\n---\nb: 2", "multiple documents"},
+		{"a: \"unterminated", "unterminated"},
+		{"just a scalar", "expected \"key: value\""},
+		{"- 1\n- 2", "mapping"},
+		{"a: [1, [2]]", "nested"},
+	}
+	for _, c := range cases {
+		_, err := yamlToJSON([]byte(c.yaml))
+		if err == nil {
+			t.Errorf("yamlToJSON(%q): expected error containing %q, got nil", c.yaml, c.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("yamlToJSON(%q) error = %q, want substring %q", c.yaml, err, c.wantSub)
+		}
+	}
+}
+
+func TestYAMLErrorsCarryLineNumbers(t *testing.T) {
+	_, err := yamlToJSON([]byte("a: 1\nb: 2\nb: 3\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("duplicate-key error should name line 3, got %v", err)
+	}
+	_, err = yamlToJSON([]byte("a: 1\n\tb: 2\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("tab-indent error should name line 2, got %v", err)
+	}
+}

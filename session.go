@@ -197,6 +197,54 @@ func (s *Simulation) SetEngineWorkers(w int) {
 	s.eng.SetWorkers(resolveEngineWorkers(w, s.cfg.N))
 }
 
+// Rebind swaps the session's topology schedule at a round boundary: the
+// session-layer half of phased scenarios (DESIGN.md §15). The new
+// schedule is built exactly as New builds one — same node count, same
+// seed derivation — and replaces the old one wholesale: subsequent
+// rounds query it at the session's global round number (mobility models
+// fast-forward deterministically into position), adaptive adversaries in
+// the new topology are bound to the live token state, and a
+// topology_rebound event announces the swap on the bus.
+//
+// Token state, meters, RNG streams and the round counter are untouched,
+// so a rebind composes with checkpoints: a snapshot taken after a rebind
+// carries the new topology in its config block and resumes into the
+// current phase; re-applying later phases is the caller's job (the
+// scenario runner's, for spec-driven runs). Edge churn across the swap
+// itself is not metered — the first post-rebind round reports only the
+// churn its own schedule generates.
+//
+// The config seed cannot change mid-run (checkpoint identity depends on
+// it), so Rebind takes only the topology and stability factor. It
+// returns the validation errors New would (ErrCrowdedBinTau, topology
+// build failures) and leaves the session unchanged on error.
+func (s *Simulation) Rebind(topo Topology, tau int) error {
+	if s.cfg.Algorithm == AlgCrowdedBin && tau > 0 {
+		return ErrCrowdedBinTau
+	}
+	if topo.Kind == 0 {
+		topo.Kind = RandomRegular
+	}
+	dyn, err := topo.Build(s.cfg.N, tau, prand.Mix64(s.cfg.Seed^0x6c62272e07bb0142))
+	if err != nil {
+		return err
+	}
+	s.cfg.Topology, s.cfg.Tau = topo, tau
+	s.dyn = dyn
+	s.adv, s.lastAdvEpoch = nil, -1
+	if adv, ok := dyn.(*adversary.Engine); ok {
+		adv.Bind(tokenCounts{s.st})
+		s.adv = adv
+		s.lastAdvEpoch = adv.Epoch()
+	}
+	s.eng.SetDynamic(dyn)
+	s.bus.Publish(events.Event{
+		Type: events.TypeTopologyRebound, Round: s.eng.Round(),
+		Potential: s.st.Potential(), Topology: dyn.Name(),
+	})
+	return nil
+}
+
 // EnableProfiling attaches the timing sidecar at a round boundary (the
 // Config.Profile knob in method form, for resumed sessions — checkpoints
 // do not record it). Idempotent; profiling affects wall-clock only,
